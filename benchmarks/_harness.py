@@ -1,0 +1,191 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Each ``bench_fig*.py`` file regenerates one evaluation artifact of the
+paper (see DESIGN.md's experiment index).  This module holds the pieces
+they share: engine construction with calibration, the per-figure grid
+runner (plans x focal sizes x minsupp), and result persistence under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import Colarm
+from repro.core.plans import PlanKind
+from repro.workloads.experiments import ExperimentSpec
+from repro.workloads.queries import random_focal_query
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Plan display order used throughout the figures (mirrors the paper's keys).
+PLAN_ORDER = (
+    PlanKind.SSEUV, PlanKind.SSVS, PlanKind.SSEV,
+    PlanKind.SVS, PlanKind.SEV, PlanKind.ARM,
+)
+
+
+def build_engine(spec: ExperimentSpec, n_probes: int = 10, seed: int = 1) -> Colarm:
+    """Offline phase for one benchmark dataset: index build + calibration."""
+    engine = Colarm(spec.make_table(), primary_support=spec.primary_support)
+    engine.calibrate(n_probes=n_probes, seed=seed)
+    return engine
+
+
+@dataclass
+class GridCell:
+    """One (focal fraction, minsupp) cell of a figure-9/10/11 chart."""
+
+    fraction: float
+    minsupp: float
+    avg_dq_size: float
+    avg_ms: dict[PlanKind, float]     # average execution time per plan
+    chosen: PlanKind                   # optimizer's majority choice
+    fastest: PlanKind                  # measured-best plan (on averages)
+
+
+def run_grid(
+    engine: Colarm,
+    spec: ExperimentSpec,
+    fractions: tuple[float, ...],
+    minconf: float = 0.85,
+    queries_per_setting: int = 2,
+    seed: int = 5,
+) -> list[GridCell]:
+    """The Figures 9-11 experiment: avg plan times over random regions.
+
+    For each cell, ``queries_per_setting`` random focal subsets of the
+    target size are executed with all six plans; times are averaged and
+    the optimizer's majority choice recorded — exactly the methodology of
+    Section 5.1.
+    """
+    rng = np.random.default_rng(seed)
+    cells: list[GridCell] = []
+    for fraction in fractions:
+        for minsupp in spec.minsupps:
+            totals = {kind: 0.0 for kind in PlanKind}
+            votes: dict[PlanKind, int] = {}
+            dq_sizes = []
+            for _ in range(queries_per_setting):
+                workload = random_focal_query(
+                    engine.table, fraction, minsupp, minconf, rng
+                )
+                dq_sizes.append(workload.dq_size)
+                results = engine.compare_plans(workload.query)
+                for kind, result in results.items():
+                    totals[kind] += result.elapsed
+                pick = engine.choose_plan(workload.query).kind
+                votes[pick] = votes.get(pick, 0) + 1
+            avg_ms = {
+                kind: totals[kind] / queries_per_setting * 1000.0
+                for kind in PlanKind
+            }
+            cells.append(
+                GridCell(
+                    fraction=fraction,
+                    minsupp=minsupp,
+                    avg_dq_size=float(np.mean(dq_sizes)),
+                    avg_ms=avg_ms,
+                    chosen=max(votes, key=lambda k: votes[k]),
+                    fastest=min(avg_ms, key=lambda k: avg_ms[k]),
+                )
+            )
+    return cells
+
+
+def grid_rows(cells: list[GridCell]) -> list[list[object]]:
+    """Flatten grid cells into printable/CSV rows (one row per plan)."""
+    rows: list[list[object]] = []
+    for cell in cells:
+        for kind in PLAN_ORDER:
+            rows.append(
+                [
+                    f"{cell.fraction:.0%}",
+                    f"{cell.minsupp:.2f}",
+                    f"{cell.avg_dq_size:.0f}",
+                    kind.value,
+                    f"{cell.avg_ms[kind]:.1f}",
+                    "<-- chosen" if kind is cell.chosen else "",
+                    "fastest" if kind is cell.fastest else "",
+                ]
+            )
+    return rows
+
+
+GRID_HEADERS = ["|D^Q|/|D|", "minsupp", "avg |D^Q|", "plan", "avg ms",
+                "optimizer", "measured"]
+
+
+@dataclass
+class AccuracyRecord:
+    """One Section 5.1 scenario: parameters, choice, truth, regret."""
+
+    fraction: float
+    minsupp: float
+    minconf: float
+    chosen: PlanKind
+    fastest: PlanKind
+    regret: float  # chosen time / fastest time - 1
+
+
+def run_accuracy(
+    engine: Colarm,
+    spec: ExperimentSpec,
+    fractions: tuple[float, ...],
+    seed: int = 11,
+    repetitions: int = 2,
+) -> list[AccuracyRecord]:
+    """The 36-setting plan-selection accuracy experiment for one dataset.
+
+    Plan times are averaged over ``repetitions`` executions so millisecond
+    timing noise does not decide which plan "won" a near-tie scenario.
+    """
+    rng = np.random.default_rng(seed)
+    records: list[AccuracyRecord] = []
+    for fraction in fractions:
+        for minsupp in spec.minsupps:
+            for minconf in spec.minconfs:
+                workload = random_focal_query(
+                    engine.table, fraction, minsupp, minconf, rng
+                )
+                times = {kind: 0.0 for kind in PlanKind}
+                for _ in range(repetitions):
+                    for kind, r in engine.compare_plans(workload.query).items():
+                        times[kind] += r.elapsed
+                fastest = min(times, key=lambda k: times[k])
+                chosen = engine.choose_plan(workload.query).kind
+                records.append(
+                    AccuracyRecord(
+                        fraction=fraction,
+                        minsupp=minsupp,
+                        minconf=minconf,
+                        chosen=chosen,
+                        fastest=fastest,
+                        regret=times[chosen] / times[fastest] - 1.0,
+                    )
+                )
+    return records
+
+
+def summarize_accuracy(records: list[AccuracyRecord],
+                       tie_tolerance: float = 0.15) -> dict[str, float]:
+    """Accuracy (strict and tolerance-based) plus regret statistics.
+
+    ``tie_tolerance`` counts a pick as correct when it lands within that
+    relative margin of the fastest plan — plans separated by less than
+    timing noise are interchangeable in practice.
+    """
+    n = len(records)
+    strict = sum(1 for r in records if r.chosen is r.fastest)
+    tolerant = sum(1 for r in records if r.regret <= tie_tolerance)
+    regrets = [r.regret for r in records if r.chosen is not r.fastest]
+    return {
+        "n": n,
+        "strict_accuracy": strict / n if n else 0.0,
+        "tolerant_accuracy": tolerant / n if n else 0.0,
+        "mean_regret_when_wrong": float(np.mean(regrets)) if regrets else 0.0,
+        "max_regret": max((r.regret for r in records), default=0.0),
+    }

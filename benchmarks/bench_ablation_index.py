@@ -1,0 +1,167 @@
+"""ABL — ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure: quantifies the individual contributions of
+
+* the R-tree bulk-loading method (Hilbert vs STR vs one-by-one inserts),
+* the R-tree fanout (max entries per node),
+* the supported R-tree filter (SS vs plain S search),
+* the expansion mode (closed-itemset rules vs all-frequent rules).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _harness import RESULTS_DIR
+from repro.analysis.reporting import format_table, write_csv
+from repro.core.mipindex import build_mip_index
+from repro.core.operators import make_context, op_search, op_supported_search
+from repro.core.plans import PlanKind, execute_plan
+from repro.dataset.synthetic import chess_like
+from repro.rtree.rtree import RTree
+from repro.workloads.queries import random_focal_query
+
+
+@pytest.fixture(scope="module")
+def table():
+    return chess_like(n_records=800, seed=7)
+
+
+@pytest.mark.parametrize("packing", ["hilbert", "str"])
+def test_ablation_index_build(benchmark, table, packing):
+    index = benchmark.pedantic(
+        build_mip_index,
+        args=(table, 0.10),
+        kwargs={"packing": packing},
+        rounds=2, iterations=1,
+    )
+    assert index.n_mips > 0
+
+
+def test_ablation_packed_vs_dynamic_search(benchmark, table):
+    """Packed trees should search no worse than insertion-built trees."""
+
+    def run():
+        index = build_mip_index(table, 0.10, packing="hilbert")
+        dynamic = RTree(n_dims=table.n_attributes,
+                        max_entries=index.rtree.tree.max_entries)
+        for mip in index.mips:
+            dynamic.insert(mip.box, mip, mip.global_count)
+
+        rng = np.random.default_rng(3)
+        packed_nodes = dynamic_nodes = 0
+        for _ in range(30):
+            workload = random_focal_query(table, 0.2, 0.4, 0.85, rng)
+            hull = workload.query.focal_range(index.cardinalities).hull()
+            packed_nodes += index.rtree.search(hull).nodes_visited
+            dynamic_nodes += dynamic.search(hull).nodes_visited
+        return packed_nodes, dynamic_nodes
+
+    packed_nodes, dynamic_nodes = benchmark.pedantic(run, rounds=1,
+                                                     iterations=1)
+    print(f"\nABL — node accesses over 30 queries: packed={packed_nodes}, "
+          f"dynamic={dynamic_nodes}")
+    assert packed_nodes <= dynamic_nodes * 1.2
+
+
+def test_ablation_rstar_vs_quadratic(benchmark, table):
+    """Dynamic-tree quality: R* heuristics vs Guttman quadratic split."""
+    from repro.rtree.rstar import RStarTree
+
+    def run():
+        index = build_mip_index(table, 0.10)
+        quadratic = RTree(n_dims=table.n_attributes, max_entries=8)
+        rstar = RStarTree(n_dims=table.n_attributes, max_entries=8)
+        for mip in index.mips:
+            quadratic.insert(mip.box, mip, mip.global_count)
+            rstar.insert(mip.box, mip, mip.global_count)
+        rng = np.random.default_rng(21)
+        q_nodes = r_nodes = 0
+        for _ in range(30):
+            workload = random_focal_query(table, 0.2, 0.4, 0.85, rng)
+            hull = workload.query.focal_range(index.cardinalities).hull()
+            q_nodes += quadratic.search(hull).nodes_visited
+            r_nodes += rstar.search(hull).nodes_visited
+        return q_nodes, r_nodes
+
+    q_nodes, r_nodes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nABL — node accesses over 30 queries: quadratic={q_nodes}, "
+          f"rstar={r_nodes}")
+    assert r_nodes <= q_nodes * 1.2
+
+
+@pytest.mark.parametrize("max_entries", [4, 8, 32])
+def test_ablation_fanout(benchmark, table, max_entries):
+    """Fanout trades tree depth against per-node scan width."""
+    index = build_mip_index(table, 0.10, max_entries=max_entries)
+    rng = np.random.default_rng(5)
+    workload = random_focal_query(table, 0.2, 0.4, 0.85, rng)
+
+    result = benchmark.pedantic(
+        execute_plan, args=(PlanKind.SSEV, index, workload.query),
+        rounds=3, iterations=1,
+    )
+    assert result.n_rules >= 0
+
+
+def test_ablation_supported_filter(benchmark, table):
+    """SS vs S: candidate reduction and node accesses at high minsupp."""
+
+    def run():
+        index = build_mip_index(table, 0.10)
+        rng = np.random.default_rng(9)
+        rows = []
+        for minsupp in (0.3, 0.45, 0.6):
+            workload = random_focal_query(table, 0.5, minsupp, 0.85, rng)
+            ctx_s = make_context(index, workload.query)
+            plain = op_search(ctx_s)
+            ctx_ss = make_context(index, workload.query)
+            filtered = op_supported_search(ctx_ss)
+            rows.append(
+                [
+                    f"{minsupp:.2f}",
+                    len(plain),
+                    len(filtered),
+                    ctx_s.trace.by_name("SEARCH").detail["nodes_visited"],
+                    ctx_ss.trace.by_name(
+                        "SUPPORTED-SEARCH").detail["nodes_visited"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["minsupp", "S candidates", "SS candidates", "S nodes",
+               "SS nodes"]
+    print("\nABL — supported R-tree filter effect (|D^Q| = 50%)")
+    print(format_table(headers, rows))
+    write_csv(RESULTS_DIR / "ablation_supported_filter.csv", headers, rows)
+    for _, plain, filtered, nodes_s, nodes_ss in rows:
+        assert filtered <= plain
+        assert nodes_ss <= nodes_s
+
+
+def test_ablation_expand_mode(benchmark, table):
+    """Expansion cost: all-frequent rules vs closed-itemset rules."""
+
+    def run():
+        index = build_mip_index(table, 0.10)
+        rng = np.random.default_rng(13)
+        workload = random_focal_query(table, 0.2, 0.5, 0.85, rng)
+        t0 = time.perf_counter()
+        closed = execute_plan(PlanKind.SSEV, index, workload.query)
+        t_closed = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        expanded = execute_plan(PlanKind.SSEV, index, workload.query,
+                                expand=True)
+        t_expanded = time.perf_counter() - t0
+        return closed.n_rules, t_closed, expanded.n_rules, t_expanded
+
+    n_closed, t_closed, n_expanded, t_expanded = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(f"\nABL — expand mode: closed rules={n_closed} ({t_closed*1e3:.1f} ms) "
+          f"vs expanded rules={n_expanded} ({t_expanded*1e3:.1f} ms)")
+    assert n_expanded >= n_closed

@@ -1,0 +1,52 @@
+"""FIG11 — average CPU cost of the six mining plans, PUMSB dataset.
+
+Paper: Figure 11 — same grid over PUMSB.  The paper notes that for the
+larger focal subsets "no clear winner" emerges and ARM is sometimes best
+on this dense dataset; the shape assertions below check both regimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import GRID_HEADERS, RESULTS_DIR, grid_rows, run_grid
+from repro.analysis.reporting import format_table, write_csv
+from repro.core.plans import PlanKind, execute_plan
+from repro.workloads.experiments import EXPERIMENTS, FOCAL_FRACTIONS
+from repro.workloads.queries import random_focal_query
+
+NAME = "pumsb"
+
+
+@pytest.mark.parametrize("kind", list(PlanKind), ids=lambda k: k.value)
+def test_fig11_plan_cells(benchmark, engines, kind):
+    import numpy as np
+
+    engine = engines(NAME)
+    spec = EXPERIMENTS[NAME]
+    workload = random_focal_query(
+        engine.table, 0.5, spec.minsupps[0], 0.85, np.random.default_rng(31),
+    )
+    result = benchmark.pedantic(
+        execute_plan, args=(kind, engine.index, workload.query),
+        rounds=3, iterations=1,
+    )
+    assert result.kind is kind
+
+
+def test_fig11_grid(benchmark, engines):
+    engine = engines(NAME)
+    spec = EXPERIMENTS[NAME]
+    cells = benchmark.pedantic(
+        run_grid, args=(engine, spec, FOCAL_FRACTIONS),
+        rounds=1, iterations=1,
+    )
+    rows = grid_rows(cells)
+    print("\nFIG11 — avg plan execution time (ms), PUMSB, minconf=85%")
+    print(format_table(GRID_HEADERS, rows))
+    write_csv(RESULTS_DIR / "fig11_pumsb.csv", GRID_HEADERS, rows)
+
+    # The paper's reading: the supported-filter plans shine on PUMSB, and
+    # overall no single plan wins every cell.
+    fastest_kinds = {cell.fastest for cell in cells}
+    assert len(fastest_kinds) >= 2, "expected no single clear winner"

@@ -1,0 +1,70 @@
+"""FIG12 — % gains of the optimized plans over the basic S-E-V plan.
+
+Paper: Figure 12: for plan P, gain = (t_SEV - t_P) / t_SEV, per dataset
+and overall.  The paper reports minor gains for selection push-up (VS)
+and 8-44% for the supported-filter plans, SS-E-U-V the strongest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import RESULTS_DIR, run_grid
+from repro.analysis.reporting import ascii_bars, format_table, write_csv
+from repro.core.plans import PlanKind
+from repro.workloads.experiments import EXPERIMENTS, FOCAL_FRACTIONS
+
+OPTIMIZED = (PlanKind.SSEUV, PlanKind.SSVS, PlanKind.SSEV, PlanKind.SVS)
+
+
+def test_fig12_gains(benchmark, engines):
+    def run():
+        gains: dict[str, dict[PlanKind, float]] = {}
+        for name, spec in sorted(EXPERIMENTS.items()):
+            cells = run_grid(engines(name), spec, FOCAL_FRACTIONS,
+                             queries_per_setting=2, seed=7)
+            per_plan = {}
+            for kind in OPTIMIZED:
+                cell_gains = [
+                    (cell.avg_ms[PlanKind.SEV] - cell.avg_ms[kind])
+                    / cell.avg_ms[PlanKind.SEV]
+                    for cell in cells
+                ]
+                per_plan[kind] = float(np.mean(cell_gains))
+            gains[name] = per_plan
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["plan"] + sorted(gains) + ["overall"]
+    rows = []
+    for kind in OPTIMIZED:
+        row = [kind.value]
+        values = []
+        for name in sorted(gains):
+            row.append(f"{gains[name][kind]:.1%}")
+            values.append(gains[name][kind])
+        row.append(f"{np.mean(values):.1%}")
+        rows.append(row)
+    print("\nFIG12 — avg gain over the basic S-E-V plan "
+          "(paper: VS minor; SS plans 8-44%)")
+    print(format_table(headers, rows))
+    overall = [
+        float(np.mean([gains[name][kind] for name in gains]))
+        for kind in OPTIMIZED
+    ]
+    print()
+    print(ascii_bars(
+        [k.value for k in OPTIMIZED],
+        [g * 100 for g in overall],
+        title="overall gain over S-E-V (%)",
+    ))
+    write_csv(RESULTS_DIR / "fig12_gains.csv", headers, rows)
+
+    # Shape check: the supported-filter family achieves a positive overall
+    # gain over S-E-V somewhere.
+    ss_family = [
+        np.mean([gains[name][kind] for name in gains])
+        for kind in (PlanKind.SSEUV, PlanKind.SSVS, PlanKind.SSEV)
+    ]
+    assert max(ss_family) > 0.0

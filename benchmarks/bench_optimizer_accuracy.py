@@ -1,0 +1,82 @@
+"""ACC — COLARM plan-selection accuracy (Section 5.1).
+
+Paper: over 108 scenarios (3 datasets x 36 parameter settings: 4 focal
+sizes x 3 minsupp x 3 minconf) the optimizer picks the most efficient plan
+in all but 3 cases (>93% accuracy) and pays at most ~5% extra when wrong.
+
+This bench reruns the full 108-scenario experiment and reports strict
+accuracy, tolerance-based accuracy (picks within 15% of the fastest plan
+count as ties — sub-noise differences), and regret statistics.
+"""
+
+from __future__ import annotations
+
+from _harness import RESULTS_DIR, run_accuracy, summarize_accuracy
+from repro.analysis.reporting import format_table, write_csv
+from repro.workloads.experiments import EXPERIMENTS, FOCAL_FRACTIONS
+
+
+def test_optimizer_accuracy_108_scenarios(benchmark, engines):
+    def run():
+        per_dataset = {}
+        for name, spec in sorted(EXPERIMENTS.items()):
+            per_dataset[name] = run_accuracy(
+                engines(name), spec, FOCAL_FRACTIONS
+            )
+        return per_dataset
+
+    per_dataset = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    all_records = [r for records in per_dataset.values() for r in records]
+    rows = []
+    for name, records in per_dataset.items():
+        summary = summarize_accuracy(records)
+        rows.append(
+            [
+                name,
+                summary["n"],
+                f"{summary['strict_accuracy']:.0%}",
+                f"{summary['tolerant_accuracy']:.0%}",
+                f"{summary['mean_regret_when_wrong']:.1%}",
+                f"{summary['max_regret']:.1%}",
+            ]
+        )
+    overall = summarize_accuracy(all_records)
+    rows.append(
+        [
+            "OVERALL",
+            overall["n"],
+            f"{overall['strict_accuracy']:.0%}",
+            f"{overall['tolerant_accuracy']:.0%}",
+            f"{overall['mean_regret_when_wrong']:.1%}",
+            f"{overall['max_regret']:.1%}",
+        ]
+    )
+    headers = ["dataset", "scenarios", "strict acc", "acc (15% tie)",
+               "mean regret when wrong", "max regret"]
+    print("\nACC — optimizer plan-selection accuracy "
+          "(paper: >93% over 108 scenarios, <=5% extra cost when wrong)")
+    print(format_table(headers, rows))
+    write_csv(RESULTS_DIR / "optimizer_accuracy.csv", headers, rows)
+
+    detail_rows = [
+        [name, r.fraction, r.minsupp, r.minconf, r.chosen.value,
+         r.fastest.value, f"{r.regret:.3f}"]
+        for name, records in per_dataset.items()
+        for r in records
+    ]
+    write_csv(
+        RESULTS_DIR / "optimizer_accuracy_detail.csv",
+        ["dataset", "fraction", "minsupp", "minconf", "chosen", "fastest",
+         "regret"],
+        detail_rows,
+    )
+
+    assert overall["n"] == 108
+    # Reproduction targets: the tolerance-based accuracy should reach the
+    # paper's ballpark, and wrong picks must stay near-optimal on average —
+    # looser than the paper's 93%/5% because millisecond-scale Python
+    # timings make near-ties far noisier than 100+-second C++ runs
+    # (EXPERIMENTS.md discusses the gap).
+    assert overall["tolerant_accuracy"] >= 0.70
+    assert overall["mean_regret_when_wrong"] <= 1.0

@@ -1,0 +1,30 @@
+"""Session-wide engines for the benchmark harness.
+
+Each benchmark dataset's offline phase (index build + cost calibration)
+runs once per pytest session and is shared by every figure bench.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import build_engine  # noqa: E402
+from repro.workloads.experiments import EXPERIMENTS  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def engines():
+    """name -> calibrated Colarm engine, built lazily and cached."""
+    cache = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = build_engine(EXPERIMENTS[name])
+        return cache[name]
+
+    return get

@@ -1,0 +1,14 @@
+"""Repository-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run even
+when the package has not been installed — a safety net for offline
+environments where ``pip install -e .`` cannot resolve its build
+dependencies (use ``python setup.py develop`` there; see README).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

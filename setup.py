@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so the package
+can be installed editable in offline environments whose setuptools/pip
+combination lacks the PEP 517 editable path (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""COLARM: Cost-based Optimization for Localized Association Rule Mining.
+
+A from-scratch Python reproduction of the EDBT 2014 paper (Mukherji,
+Rundensteiner & Ward).  The top-level namespace re-exports the pieces a
+typical user needs; see ``repro.dataset``, ``repro.itemsets``,
+``repro.rtree``, ``repro.core``, ``repro.analysis`` and ``repro.workloads``
+for the full API.
+
+Quickstart::
+
+    from repro import Colarm, salary_dataset
+
+    engine = Colarm(salary_dataset(), primary_support=0.15)
+    outcome = engine.query(
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Location = (Seattle) AND Gender = (F) "
+        "HAVING minsupport = 0.5 AND minconfidence = 0.8;"
+    )
+    for rule in outcome.rules:
+        print(rule.render(engine.schema))
+"""
+
+from repro.core.engine import Colarm, QueryOutcome
+from repro.core.plans import PlanKind
+from repro.core.query import LocalizedQuery
+from repro.dataset.salary import salary_dataset
+from repro.dataset.schema import Attribute, Item, Schema
+from repro.dataset.table import RelationalTable
+from repro.itemsets.rules import Rule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Colarm",
+    "QueryOutcome",
+    "PlanKind",
+    "LocalizedQuery",
+    "Rule",
+    "Attribute",
+    "Item",
+    "Schema",
+    "RelationalTable",
+    "salary_dataset",
+    "__version__",
+]

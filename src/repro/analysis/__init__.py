@@ -1,0 +1,29 @@
+"""Analysis utilities: Simpson's-paradox detection, parameter-space
+exploration, rule ranking and report formatting."""
+
+from repro.analysis.paramspace import ParameterGrid, explore_parameter_space
+from repro.analysis.ranking import MEASURES, localized_rule_stats, rank_rules
+from repro.analysis.reporting import format_series, format_table, write_csv
+from repro.analysis.simpson import (
+    LocalGlobalItemsets,
+    RuleFlip,
+    compare_itemsets,
+    find_rule_flips,
+    find_vanishing_rules,
+)
+
+__all__ = [
+    "LocalGlobalItemsets",
+    "RuleFlip",
+    "compare_itemsets",
+    "find_rule_flips",
+    "find_vanishing_rules",
+    "ParameterGrid",
+    "explore_parameter_space",
+    "MEASURES",
+    "localized_rule_stats",
+    "rank_rules",
+    "format_table",
+    "format_series",
+    "write_csv",
+]

@@ -1,0 +1,91 @@
+"""Plain-text reporting helpers used by the benchmark harness.
+
+The benchmarks print the same rows/series the paper's figures plot; these
+helpers render them as aligned fixed-width tables and optionally persist
+them as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["format_table", "write_csv", "format_series", "ascii_bars"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned fixed-width text table."""
+    cells = [[_render(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """One figure series as ``name: (x1, y1) (x2, y2) ...``."""
+    points = " ".join(f"({_render(x)}, {_render(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Persist table rows as CSV (for re-plotting outside the harness)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow([_render(v) for v in row])
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """A horizontal bar chart in plain text (for figure-style bench output).
+
+    Negative values draw to the left of a zero axis so gain/loss charts
+    (like the paper's Figure 12) read naturally.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    lines = [title] if title else []
+    if not values:
+        return "\n".join(lines)
+    label_width = max(len(lbl) for lbl in labels)
+    peak = max(abs(v) for v in values) or 1.0
+    neg_width = width if any(v < 0 for v in values) else 0
+    for label, value in zip(labels, values):
+        bar_len = int(round(abs(value) / peak * width))
+        if value >= 0:
+            bar = " " * neg_width + "|" + "#" * bar_len
+        else:
+            bar = " " * (neg_width - bar_len) + "#" * bar_len + "|"
+        lines.append(f"{label.ljust(label_width)}  {bar} {_render(value)}")
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,206 @@
+"""Local-vs-global comparison: surfacing Simpson's paradox (Section 5.3).
+
+Two questions from the paper's evaluation:
+
+* how many closed frequent itemsets found by a localized query are *fresh*
+  (locally frequent but hidden globally) versus *repeated* (already global)
+  — the Figure 13 quantities;
+* which rules flip between the global and the local context — the classic
+  Simpson's-paradox signature (a rule confident globally that fails
+  locally, or vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import tidset as ts
+from repro.core.mipindex import MIPIndex
+from repro.core.operators import make_context, op_eliminate, op_search
+from repro.core.query import LocalizedQuery
+from repro.itemsets.apriori import min_count_for
+from repro.itemsets.itemset import Itemset
+from repro.itemsets.rules import Rule, generate_rules
+
+__all__ = [
+    "LocalGlobalItemsets",
+    "RuleFlip",
+    "compare_itemsets",
+    "find_rule_flips",
+    "find_vanishing_rules",
+]
+
+
+@dataclass(frozen=True)
+class LocalGlobalItemsets:
+    """Fig. 13's split of locally frequent closed itemsets."""
+
+    fresh_local: tuple[Itemset, ...]      # locally frequent, globally hidden
+    repeated_global: tuple[Itemset, ...]  # locally and globally frequent
+
+    @property
+    def n_fresh(self) -> int:
+        return len(self.fresh_local)
+
+    @property
+    def n_repeated(self) -> int:
+        return len(self.repeated_global)
+
+    @property
+    def n_local(self) -> int:
+        return self.n_fresh + self.n_repeated
+
+
+def compare_itemsets(
+    index: MIPIndex,
+    query: LocalizedQuery,
+    global_minsupp: float | None = None,
+) -> LocalGlobalItemsets:
+    """Split the query's locally frequent itemsets into fresh vs repeated.
+
+    ``global_minsupp`` is the threshold an analyst would use for a *global*
+    mining request (defaults to the query's own minsupp): a locally
+    frequent itemset whose global support stays below it is *fresh* — it
+    would be missed, or buried, in the global context.
+    """
+    if global_minsupp is None:
+        global_minsupp = query.minsupp
+    ctx = make_context(index, query)
+    candidates = op_search(ctx)
+    qualified = op_eliminate(ctx, candidates)
+    global_floor = min_count_for(global_minsupp, index.table.n_records)
+    fresh, repeated = [], []
+    for mip, _local in qualified:
+        if mip.global_count >= global_floor:
+            repeated.append(mip.itemset)
+        else:
+            fresh.append(mip.itemset)
+    return LocalGlobalItemsets(
+        fresh_local=tuple(fresh), repeated_global=tuple(repeated)
+    )
+
+
+@dataclass(frozen=True)
+class RuleFlip:
+    """A rule whose confidence crosses the threshold between contexts."""
+
+    rule: Rule               # stats w.r.t. the focal subset
+    global_confidence: float
+    local_confidence: float
+
+    @property
+    def direction(self) -> str:
+        """``"emerges"`` if only locally confident, ``"vanishes"`` otherwise."""
+        return (
+            "emerges" if self.local_confidence > self.global_confidence else "vanishes"
+        )
+
+
+def find_rule_flips(
+    index: MIPIndex,
+    query: LocalizedQuery,
+    margin: float = 0.0,
+) -> list[RuleFlip]:
+    """Rules confident in exactly one of the two contexts.
+
+    Returns localized rules passing ``minconf`` locally whose global
+    confidence misses it by at least ``margin``, plus (as negative
+    ``local_confidence`` evidence) global rules that fail locally.  Sorted
+    by the size of the confidence gap, largest first.
+    """
+    ctx = make_context(index, query)
+    candidates = op_search(ctx)
+    qualified = op_eliminate(ctx, candidates)
+    full = ts.full(index.table.n_records)
+
+    def local_count(items: Itemset) -> int | None:
+        return index.ittree.local_support_count(items, ctx.dq)
+
+    def global_count(items: Itemset) -> int | None:
+        return index.ittree.local_support_count(items, full)
+
+    flips: list[RuleFlip] = []
+    seen: set[tuple[Itemset, Itemset]] = set()
+    for mip, _local in qualified:
+        local_rules = generate_rules(
+            mip.itemset, local_count, ctx.dq_size, query.minconf
+        )
+        for rule in local_rules:
+            key = (rule.antecedent, rule.consequent)
+            if key in seen:
+                continue
+            seen.add(key)
+            g_itemset = global_count(rule.items)
+            g_antecedent = global_count(rule.antecedent)
+            if not g_antecedent:
+                continue
+            g_conf = (g_itemset or 0) / g_antecedent
+            if g_conf < query.minconf - margin:
+                flips.append(
+                    RuleFlip(
+                        rule=rule,
+                        global_confidence=g_conf,
+                        local_confidence=rule.confidence,
+                    )
+                )
+    flips.sort(key=lambda f: -(f.local_confidence - f.global_confidence))
+    return flips
+
+
+def find_vanishing_rules(
+    index: MIPIndex,
+    query: LocalizedQuery,
+    global_minsupp: float,
+    margin: float = 0.0,
+) -> list[RuleFlip]:
+    """Global rules that *fail* inside the focal subset.
+
+    The mirror image of :func:`find_rule_flips` — and the paper's opening
+    example: R_G = (Age 20-30 -> Salary 90-120K) holds globally but not
+    for Seattle's female employees.  Generates the global rules at
+    ``(global_minsupp, query.minconf)`` from the stored itemsets, then
+    keeps those whose *local* confidence misses ``minconf`` by at least
+    ``margin`` (rules whose antecedent never occurs locally are skipped —
+    they neither hold nor fail there).  Sorted by confidence drop,
+    largest first.
+    """
+    ctx = make_context(index, query)
+    full = ts.full(index.table.n_records)
+
+    def global_count(items: Itemset) -> int | None:
+        return index.ittree.local_support_count(items, full)
+
+    def local_count(items: Itemset) -> int | None:
+        return index.ittree.local_support_count(items, ctx.dq)
+
+    global_floor = min_count_for(global_minsupp, index.table.n_records)
+    flips: list[RuleFlip] = []
+    seen: set[tuple[Itemset, Itemset]] = set()
+    for mip in index.mips:
+        if mip.global_count < global_floor:
+            continue
+        if query.item_attributes is not None and not all(
+            item.attribute in query.item_attributes for item in mip.itemset
+        ):
+            continue
+        for rule in generate_rules(
+            mip.itemset, global_count, index.table.n_records, query.minconf
+        ):
+            key = (rule.antecedent, rule.consequent)
+            if key in seen:
+                continue
+            seen.add(key)
+            l_antecedent = local_count(rule.antecedent)
+            if not l_antecedent:
+                continue  # the rule is vacuous in this subset
+            l_conf = (local_count(rule.items) or 0) / l_antecedent
+            if l_conf < query.minconf - margin:
+                flips.append(
+                    RuleFlip(
+                        rule=rule,
+                        global_confidence=rule.confidence,
+                        local_confidence=l_conf,
+                    )
+                )
+    flips.sort(key=lambda f: -(f.global_confidence - f.local_confidence))
+    return flips

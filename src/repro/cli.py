@@ -1,0 +1,266 @@
+"""The ``colarm`` command-line interface.
+
+Wraps the offline and online phases for shell use::
+
+    colarm build data.csv index.npz --primary-support 0.1 --calibrate 6
+    colarm info index.npz
+    colarm query index.npz "REPORT LOCALIZED ASSOCIATION RULES FROM d \
+        WHERE RANGE region = (r1) HAVING minsupport = 0.4 AND minconfidence = 0.8;"
+    colarm plans index.npz "<same query>"     # run all six plans
+    colarm explain index.npz "<same query>"   # cost-model ranking only
+    colarm suggest index.npz                  # thresholds + focal subsets
+
+Exit status is 0 on success, 2 on usage/data errors (with a message on
+stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.calibration import calibrate, default_probe_queries
+from repro.core.engine import Colarm
+from repro.core.mipindex import MIPIndex, build_mip_index
+from repro.core.parser import parse_query
+from repro.core.paramsuggest import suggest_minconf, suggest_minsupp, suggest_ranges
+from repro.core.persistence import load_index, save_index
+from repro.core.plans import PlanKind, execute_plan, plan_from_name
+from repro.dataset.loaders import load_csv
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="colarm",
+        description="COLARM: online localized association rule mining",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="offline phase: CSV -> MIP-index file")
+    build.add_argument("csv", help="input CSV of value labels (with header)")
+    build.add_argument("index", help="output index file (.npz)")
+    build.add_argument("--primary-support", type=float, default=0.1,
+                       help="the POQM primary support floor (default 0.1)")
+    build.add_argument("--max-entries", type=int, default=8,
+                       help="R-tree fanout (default 8)")
+    build.add_argument("--calibrate", type=int, default=0, metavar="N",
+                       help="fit cost weights from N probe queries")
+
+    info = sub.add_parser("info", help="summarize an index file")
+    info.add_argument("index")
+
+    query = sub.add_parser("query", help="answer one localized mining query")
+    query.add_argument("index")
+    query.add_argument("text", help="REPORT LOCALIZED ASSOCIATION RULES ...")
+    query.add_argument("--plan", default=None,
+                       help="force a plan (S-E-V, S-VS, SS-E-V, SS-VS, "
+                            "SS-E-U-V, ARM) instead of the optimizer")
+    query.add_argument("--expand", action="store_true",
+                       help="expand to all locally frequent itemsets")
+    query.add_argument("--limit", type=int, default=50,
+                       help="max rules to print (default 50)")
+
+    plans = sub.add_parser("plans", help="execute all six plans and compare")
+    plans.add_argument("index")
+    plans.add_argument("text")
+
+    explain = sub.add_parser("explain", help="cost-model ranking for a query")
+    explain.add_argument("index")
+    explain.add_argument("text")
+
+    suggest = sub.add_parser("suggest",
+                             help="suggest thresholds and focal subsets")
+    suggest.add_argument("index")
+    suggest.add_argument("--qualify-fraction", type=float, default=0.25)
+    suggest.add_argument("--top-k", type=int, default=5)
+
+    simpson = sub.add_parser(
+        "simpson", help="rules that flip between global and local context"
+    )
+    simpson.add_argument("index")
+    simpson.add_argument("text", help="the localized query defining D^Q")
+    simpson.add_argument("--margin", type=float, default=0.05,
+                         help="min confidence gap to report (default 0.05)")
+    simpson.add_argument("--limit", type=int, default=10)
+
+    rank = sub.add_parser(
+        "rank", help="answer a query and rank its rules by a measure"
+    )
+    rank.add_argument("index")
+    rank.add_argument("text")
+    rank.add_argument("--measure", default="kulczynski",
+                      help="lift, cosine, kulczynski, jaccard, ... "
+                           "(default kulczynski)")
+    rank.add_argument("--top-k", type=int, default=10)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"colarm: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    table = load_csv(args.csv)
+    index = build_mip_index(
+        table, primary_support=args.primary_support,
+        max_entries=args.max_entries,
+    )
+    weights = None
+    if args.calibrate > 0:
+        probes = default_probe_queries(index, n_queries=args.calibrate)
+        report = calibrate(index, probes)
+        weights = report.weights
+        print(f"calibrated on {report.n_runs} probe runs "
+              f"(RMS residual {report.residual * 1000:.2f} ms)")
+    save_index(index, args.index, weights=weights)
+    print(
+        f"indexed {table.n_records} records x {table.n_attributes} attributes: "
+        f"{index.n_mips} closed frequent itemsets at primary support "
+        f"{args.primary_support:.0%} -> {args.index}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index, weights = load_index(args.index)
+    stats = index.stats
+    print(f"records:            {stats.n_records}")
+    print(f"attributes:         {stats.n_attributes}")
+    print(f"primary support:    {index.primary_support:.2%}")
+    print(f"closed itemsets:    {index.n_mips}")
+    print(f"R-tree height:      {index.rtree.height}")
+    print(f"itemset lengths:    {dict(sorted(stats.length_histogram.items()))}")
+    print(f"calibrated weights: {'yes' if weights else 'no'}")
+    for attr in index.table.schema.attributes:
+        print(f"  {attr.name}: {list(attr.values)}")
+    return 0
+
+
+def _load_engine(index_path: str) -> Colarm:
+    index, weights = load_index(index_path)
+    return Colarm.from_index(index, weights=weights)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.index)
+    engine.expand = bool(args.expand)
+    plan = plan_from_name(args.plan) if args.plan else None
+    outcome = engine.query(args.text, plan=plan)
+    print(
+        f"focal subset: {outcome.dq_size} records; plan {outcome.plan.value} "
+        f"({outcome.chosen_by}); {outcome.n_rules} rules in "
+        f"{outcome.elapsed * 1000:.1f} ms"
+    )
+    for rule in outcome.rules[: args.limit]:
+        print("  " + rule.render(engine.schema))
+    if outcome.n_rules > args.limit:
+        print(f"  ... and {outcome.n_rules - args.limit} more")
+    return 0
+
+
+def _cmd_plans(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.index)
+    parsed = parse_query(args.text, engine.schema)
+    choice = engine.choose_plan(parsed.query)
+    rows = []
+    for kind in PlanKind:
+        result = execute_plan(kind, engine.index, parsed.query)
+        rows.append(
+            [
+                kind.value,
+                f"{result.elapsed * 1000:.1f}",
+                f"{choice.estimates[kind] * 1000:.1f}",
+                result.n_rules,
+                "<-- optimizer" if kind is choice.kind else "",
+            ]
+        )
+    print(format_table(
+        ["plan", "measured ms", "estimated ms", "rules", ""], rows
+    ))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.index)
+    print(engine.choose_plan(args.text).explain())
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    index, _ = load_index(args.index)
+    minsupp = suggest_minsupp(index, qualify_fraction=args.qualify_fraction)
+    minconf = suggest_minconf(index, target_fraction=args.qualify_fraction)
+    print(f"suggested minsupport  = {minsupp:.3f}")
+    print(f"suggested minconfidence = {minconf:.3f}")
+    print("promising focal subsets:")
+    for suggestion in suggest_ranges(index, minsupp=minsupp, top_k=args.top_k):
+        print("  " + suggestion.describe(index.table.schema))
+    return 0
+
+
+def _cmd_simpson(args: argparse.Namespace) -> int:
+    from repro import tidset as ts
+    from repro.analysis.simpson import find_rule_flips, find_vanishing_rules
+
+    engine = _load_engine(args.index)
+    query = parse_query(args.text, engine.schema).query
+    emerging = find_rule_flips(engine.index, query, margin=args.margin)
+    vanishing = find_vanishing_rules(
+        engine.index, query, global_minsupp=query.minsupp, margin=args.margin
+    )
+    dq = engine.index.table.tids_matching(query.range_selections)
+    print(f"focal subset: {ts.count(dq)} records — "
+          f"{len(emerging)} emerging, {len(vanishing)} vanishing rules "
+          f"(margin {args.margin:.2f})")
+    for title, flips in (("EMERGING", emerging), ("VANISHING", vanishing)):
+        print(f"\n{title}:")
+        for flip in flips[: args.limit]:
+            print(
+                f"  {flip.rule.render(engine.schema)}  "
+                f"[global conf {flip.global_confidence:.2f} -> "
+                f"local {flip.local_confidence:.2f}]"
+            )
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    from repro import tidset as ts
+    from repro.analysis.ranking import rank_rules
+
+    engine = _load_engine(args.index)
+    query = parse_query(args.text, engine.schema).query
+    outcome = engine.query(query)
+    dq = engine.index.table.tids_matching(query.range_selections)
+    ranked = rank_rules(engine.index, outcome.rules, dq,
+                        measure=args.measure, top_k=args.top_k)
+    print(f"{outcome.n_rules} rules; top {len(ranked)} by {args.measure}:")
+    for rule, score in ranked:
+        print(f"  {score:8.3f}  {rule.render(engine.schema)}")
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "info": _cmd_info,
+    "simpson": _cmd_simpson,
+    "rank": _cmd_rank,
+    "query": _cmd_query,
+    "plans": _cmd_plans,
+    "explain": _cmd_explain,
+    "suggest": _cmd_suggest,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

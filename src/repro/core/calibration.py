@@ -1,0 +1,209 @@
+"""Calibration of the cost model's unit weights.
+
+The cost formulae express each plan's work in abstract load units (node
+accesses, tidset-word operations, rule-generation fan-out, ...).  What one
+unit costs in wall-clock seconds depends on the machine and the Python
+runtime, so at index-build time a small *probe workload* is executed with
+all six plans and the per-feature weights are fitted by non-negative least
+squares on (load vector, measured time) pairs.
+
+The probe time excludes the shared FOCUS step (identical across plans, so
+irrelevant to plan *selection*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import CostModel, CostWeights, DEFAULT_WEIGHTS, QueryProfile
+from repro.core.mipindex import MIPIndex
+from repro.core.plans import PlanKind, execute_plan
+from repro.core.query import LocalizedQuery
+from repro.errors import QueryError
+
+__all__ = ["CalibrationReport", "calibrate", "default_probe_queries"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Fitted weights plus fit diagnostics."""
+
+    weights: CostWeights
+    n_runs: int
+    residual: float  # RMS of (predicted - measured) over the probe runs
+
+
+def default_probe_queries(
+    index: MIPIndex,
+    n_queries: int = 8,
+    seed: int = 0,
+    minsupp_range: tuple[float, float] = (0.3, 0.8),
+    minconf: float = 0.7,
+) -> list[LocalizedQuery]:
+    """A spread of random focal subsets for probing.
+
+    Picks random range attributes and contiguous value runs of varying
+    width so the probes cover small and large focal subsets, which keeps
+    the least-squares system well conditioned.
+    """
+    from repro import tidset as ts
+
+    rng = np.random.default_rng(seed)
+    schema = index.table.schema
+    candidates: list[tuple[int, dict[int, frozenset[int]]]] = []
+    for _ in range(max(n_queries * 8, 32)):
+        n_range = int(rng.integers(1, max(2, schema.n_attributes // 3) + 1))
+        attrs = rng.choice(schema.n_attributes, size=n_range, replace=False)
+        selections: dict[int, frozenset[int]] = {}
+        for ai in attrs:
+            card = schema.attributes[int(ai)].cardinality
+            width = int(rng.integers(1, card + 1))
+            start = int(rng.integers(0, card - width + 1))
+            selections[int(ai)] = frozenset(range(start, start + width))
+        dq_size = ts.count(index.table.tids_matching(selections))
+        if dq_size > 0:
+            candidates.append((dq_size, selections))
+    if not candidates:
+        raise QueryError("could not generate any non-empty probe query")
+    # Spread the probes across focal-subset sizes so every plan's expensive
+    # regime (ARM at small/low-support subsets, record-level checks at
+    # large ones) is represented in the fit.
+    candidates.sort(key=lambda c: c[0])
+    step = max(1, len(candidates) // n_queries)
+    picked = candidates[::step][:n_queries] or candidates[:n_queries]
+    lo, hi = minsupp_range
+    return [
+        LocalizedQuery(
+            range_selections=selections,
+            minsupp=lo + (hi - lo) * (i % 3) / 2.0,
+            minconf=minconf,
+        )
+        for i, (_size, selections) in enumerate(picked)
+    ]
+
+
+#: Which cost features each instrumented operator exercises.  The
+#: SUPPORTED-VERIFY operator interleaves the eliminate and verify work, so
+#: its measured time is attributed across both features jointly by the
+#: least-squares fit.
+_OPERATOR_FEATURES: dict[str, tuple[str, ...]] = {
+    "SEARCH": ("search",),
+    "SUPPORTED-SEARCH": ("search",),
+    "ELIMINATE": ("eliminate",),
+    "VERIFY": ("verify",),
+    "SUPPORTED-VERIFY": ("eliminate", "verify"),
+    "SELECT": ("select",),
+    "ARM": ("arm",),
+}
+
+
+def calibrate(
+    index: MIPIndex,
+    probe_queries: list[LocalizedQuery] | None = None,
+    expand: bool = False,
+) -> CalibrationReport:
+    """Fit per-feature unit weights from measured probe executions.
+
+    Every *operator* invocation in the probe runs contributes one row —
+    its load estimate against its measured elapsed time — so each weight
+    is identified by the operator that actually exercises it, instead of
+    being confounded inside per-plan totals.
+    """
+    from repro import tidset as ts
+    from repro.itemsets.apriori import min_count_for
+
+    if probe_queries is None:
+        probe_queries = default_probe_queries(index)
+    base_model = CostModel(index.stats)
+
+    feature_names = [n for n in sorted(DEFAULT_WEIGHTS) if n != "const"]
+    column = {name: j for j, name in enumerate(feature_names)}
+    rows: list[list[float]] = []
+    times: list[float] = []
+    n_runs = 0
+    for query in probe_queries:
+        focal = query.focal_range(index.cardinalities)
+        dq = index.table.tids_matching(query.range_selections)
+        dq_size = ts.count(dq)
+        if dq_size == 0:
+            continue
+        item_tidsets = {
+            (item.attribute, item.value): mask
+            for item, mask in index.table.item_tidsets().items()
+        }
+        profile = QueryProfile.from_query(
+            query,
+            focal,
+            index.stats,
+            dq_size,
+            min_count_for(query.minsupp, dq_size),
+            item_local_tidsets=item_tidsets,
+            dq=dq,
+        )
+        for kind in PlanKind:
+            result = execute_plan(kind, index, query, expand=expand)
+            n_runs += 1
+            loads = base_model.loads(kind, profile)
+            supported = kind.name.startswith("SS")
+            per_feature = {
+                "search": base_model.search_load(profile, supported=supported),
+                "eliminate": base_model.eliminate_load(profile, kind),
+                "verify": base_model.verify_load(profile),
+                "select": base_model.select_load(profile),
+                "arm": base_model.arm_load(profile),
+            }
+            del loads  # per-operator attribution below covers everything
+            for op in result.trace.operators:
+                features = _OPERATOR_FEATURES.get(op.name)
+                if not features:
+                    continue  # FOCUS / UNION: constant overhead
+                row = [0.0] * len(feature_names)
+                for feature in features:
+                    row[column[feature]] = per_feature[feature]
+                rows.append(row)
+                times.append(max(op.elapsed, 0.0))
+
+    if not rows:
+        raise QueryError("no probe runs executed; cannot calibrate")
+    matrix = np.asarray(rows, dtype=float)
+    target = np.asarray(times, dtype=float)
+
+    weights = dict(DEFAULT_WEIGHTS)
+    fitted = _nnls(matrix, target)
+    for j, name in enumerate(feature_names):
+        # Robust per-feature fit: the median of elapsed/load over the rows
+        # where this feature is the only active one.  A single degenerate
+        # probe (e.g. a two-record focal subset whose rule fan-out
+        # explodes) would otherwise dominate the least-squares fit and
+        # poison every other weight.
+        solo = [
+            times[i] / matrix[i, j]
+            for i in range(len(times))
+            if matrix[i, j] > 0
+            and all(matrix[i, k] == 0 for k in range(matrix.shape[1]) if k != j)
+        ]
+        if solo:
+            weights[name] = float(np.median(solo))
+        elif matrix[:, j].max() > 0 and fitted[j] > 0:
+            weights[name] = float(fitted[j])
+    predicted = matrix @ np.asarray(
+        [weights[name] for name in feature_names], dtype=float
+    )
+    residual = float(np.sqrt(np.mean((predicted - target) ** 2)))
+    return CalibrationReport(
+        weights=CostWeights(weights), n_runs=n_runs, residual=residual
+    )
+
+
+def _nnls(matrix: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Non-negative least squares, preferring scipy's solver."""
+    try:
+        from scipy.optimize import nnls
+
+        solution, _ = nnls(matrix, target)
+        return solution
+    except ImportError:
+        solution, *_ = np.linalg.lstsq(matrix, target, rcond=None)
+        return np.clip(solution, 0.0, None)

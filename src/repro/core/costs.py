@@ -1,0 +1,542 @@
+"""The COLARM cost model (Equations 1-6, Table 4).
+
+Each plan's cost is a weighted sum of *load features* — the operator-level
+work estimates the paper's equations describe:
+
+* ``search``    — expected R-tree node accesses (Eq. 1/3 COST(S)/COST(SS),
+  via the Theodoridis-Sellis window-query model, with the supported
+  filter's per-level pruning fractions for SS) plus the per-candidate
+  exact classification;
+* ``eliminate`` — record-level support checks, in tidset-word units
+  (Eq. 1 COST(E) = |{I^Q_S}| x |D^Q|); SS-E-U-V pays only for partially
+  overlapped candidates (Lemma 4.5);
+* ``verify``    — rule-generation work: qualified itemsets times their
+  exponential antecedent fan-out times the word cost of each support
+  lookup (Eq. 1 COST(V));
+* ``select``    — focal-subset extraction (Eq. 6 COST(sigma));
+* ``arm``       — from-scratch mining work (Eq. 6 COST(eps_AR)), sized by
+  an independence-model estimate of the *locally* frequent itemsets;
+* ``const``     — fixed per-pipeline-stage overhead (what selection
+  push-up saves).
+
+The cardinality estimates behind the features implement Lemmas 4.1-4.5:
+expected overlapping MIPs from Minkowski-sum extents, supported-filter
+selectivity from the precomputed global-count distribution, and the
+contained/partial split from per-attribute fixing probabilities.  The unit
+weights are fitted by :mod:`repro.core.calibration`; evaluating all six
+formulae is a constant-time computation, as Section 3.1 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.query import FocalRange, LocalizedQuery
+from repro.core.stats import IndexStatistics
+from repro.core.plans import PlanKind
+from repro.rtree.costmodel import expected_leaf_matches, expected_node_accesses
+
+__all__ = ["CostWeights", "QueryProfile", "CostModel", "DEFAULT_WEIGHTS"]
+
+#: Uncalibrated per-unit weights (seconds per load unit), rough orders of
+#: magnitude for CPython; calibration replaces them with fitted values.
+DEFAULT_WEIGHTS: dict[str, float] = {
+    "search": 3e-6,
+    "eliminate": 3e-8,
+    "verify": 4e-8,
+    "select": 4e-7,
+    "arm": 2e-7,
+    "const": 5e-5,
+}
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Per-feature unit costs used to price the load vectors."""
+
+    weights: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
+
+    def price(self, loads: dict[str, float]) -> float:
+        return sum(self.weights.get(name, 0.0) * load for name, load in loads.items())
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Query-derived quantities shared by all six cost formulae.
+
+    The cardinalities (``n_cands*``, ``est_qualified*``) come from a
+    vectorized pass over the precomputed per-MIP statistics
+    (:class:`~repro.core.stats.IndexStatistics`): exact geometric overlap
+    and containment counts, exact supported-filter selectivity, and a
+    local-support *upper bound* per MIP (the minimum of its per-range-
+    attribute projected counts) standing in for the record-level check.
+    When the per-item profile is unavailable, the distribution-based
+    Lemma 4.1/4.2 estimates take over.
+    """
+
+    hull_extents: tuple[int, ...]
+    min_count: int           # ceil(minsupp * |D^Q|)
+    global_floor: int        # ceil(minsupp * |D|): global count needed to pass
+    dq_size: int
+    aitem_fraction: float    # P(candidate itemset lies within Aitem)
+    contained_fraction: float  # P(overlapping MIP is fully contained)
+    n_cands: float             # MIPs geometrically overlapping the region
+    n_cands_supported: float   # ... also passing the supported filter
+    n_contained: float         # ... fully contained (of n_cands_supported)
+    est_qualified: float       # expected ELIMINATE survivors (Aitem applied)
+    est_qualified_partial: float  # survivors among partially overlapped MIPs
+    qualified_fanout: float    # sum of 2**length over the expected survivors
+    arm_itemsets: float        # model-based locally-frequent itemset count
+    arm_fanout: float          # ... and its 2**length rule-generation mass
+
+    @classmethod
+    def from_query(
+        cls,
+        query: LocalizedQuery,
+        focal: FocalRange,
+        stats: IndexStatistics,
+        dq_size: int,
+        min_count: int,
+        item_local_tidsets: "dict[tuple[int, int], int] | None" = None,
+        dq: int | None = None,
+    ) -> "QueryProfile":
+        """Build the profile.
+
+        ``item_local_tidsets`` maps each (attribute, value) item to its
+        tidset and ``dq`` is the focal tidset; together they let the
+        profile measure the *exact* locally frequent item and item-pair
+        counts (a few hundred bitmask ANDs — microseconds).  These feed
+        the clique-model estimate of ARM's from-scratch mining work, which
+        must account for locally frequent itemsets *below* the index's
+        primary floor; without them the stored-MIP survivors stand in.
+        """
+        exact = query.minsupp * stats.n_records
+        global_floor = int(exact)
+        if global_floor < exact:
+            global_floor += 1
+        global_floor = max(global_floor, 1)
+        aitem_fraction = _aitem_fraction(query, stats)
+        contained_fraction = _contained_fraction(query, focal, stats)
+        cards = _vectorized_cardinalities(
+            query, focal, stats, min_count, global_floor, aitem_fraction,
+            contained_fraction,
+        )
+        if item_local_tidsets is not None and dq is not None and dq_size > 0:
+            arm_itemsets, arm_fanout = _model_arm_counts(
+                query, item_local_tidsets, dq, dq_size, min_count
+            )
+        else:
+            arm_itemsets = cards["est_qualified"]
+            arm_fanout = cards["qualified_fanout"]
+        return cls(
+            hull_extents=focal.hull_extents(),
+            min_count=min_count,
+            global_floor=global_floor,
+            dq_size=dq_size,
+            aitem_fraction=aitem_fraction,
+            contained_fraction=contained_fraction,
+            arm_itemsets=arm_itemsets,
+            arm_fanout=arm_fanout,
+            **cards,
+        )
+
+
+#: At most this many locally frequent items have their pairwise supports
+#: measured exactly; beyond it the pair density is extrapolated.
+_ARM_MODEL_MAX_ITEMS = 48
+#: Itemset-length cap for the clique-model series (2**k saturates anyway).
+_ARM_MODEL_MAX_LENGTH = 16
+
+
+def _model_arm_counts(
+    query: LocalizedQuery,
+    item_tidsets: "dict[tuple[int, int], int]",
+    dq: int,
+    dq_size: int,
+    min_count: int,
+) -> tuple[float, float]:
+    """Estimated locally frequent itemsets from exact F1/F2 measurements.
+
+    ARM mines the focal subset from scratch, so its work scales with the
+    number of *locally* frequent itemsets — including those below the
+    index's primary floor, which no stored statistic covers.  The profile
+    therefore measures, with a few hundred bitmask intersections:
+
+    * ``F1`` — the exact number of locally frequent items, and
+    * ``F2`` — the exact number of locally frequent item *pairs* (among
+      the strongest ``_ARM_MODEL_MAX_ITEMS`` items; the remainder is
+      extrapolated from the observed pair density),
+
+    and extrapolates level counts with the clique-count series
+    ``F_k = C(F1, k) * d^(k(k-1)/2)`` where ``d`` is the pair density —
+    the expected number of k-cliques in the frequent-pair graph, which is
+    exactly the Apriori candidate space at level k.  Unlike an
+    independence model this uses the *measured* co-occurrence, so
+    correlated attributes (the expensive ARM cases) are priced correctly.
+
+    Returns ``(itemset_count, sum of 2**length)`` — the mining and
+    rule-generation work masses.
+    """
+    frequent: list[tuple[int, int]] = []  # (local_count, tidset & dq)
+    for (attribute, _value), mask in item_tidsets.items():
+        if query.item_attributes is not None and \
+                attribute not in query.item_attributes:
+            continue
+        local = mask & dq
+        count_ = local.bit_count()
+        if count_ >= min_count:
+            frequent.append((count_, local))
+    f1 = len(frequent)
+    if f1 == 0:
+        return 0.0, 0.0
+    if f1 == 1:
+        return 1.0, 2.0
+
+    frequent.sort(key=lambda cm: -cm[0])
+    sample = frequent[:_ARM_MODEL_MAX_ITEMS]
+    pairs_sampled = 0
+    pairs_frequent = 0
+    for i in range(len(sample)):
+        for j in range(i + 1, len(sample)):
+            pairs_sampled += 1
+            if (sample[i][1] & sample[j][1]).bit_count() >= min_count:
+                pairs_frequent += 1
+    density = pairs_frequent / pairs_sampled if pairs_sampled else 0.0
+    total_pairs = f1 * (f1 - 1) / 2.0
+    f2 = density * total_pairs
+
+    count = float(f1) + f2
+    fanout = 2.0 * f1 + 4.0 * f2
+    f_k = f2
+    for k in range(3, _ARM_MODEL_MAX_LENGTH + 1):
+        if f1 < k or f_k < 1e-3:
+            break
+        # F_k / F_{k-1} for the clique series C(F1,k) d^{k(k-1)/2}:
+        f_k *= (f1 - k + 1) / k * density ** (k - 1)
+        count += f_k
+        fanout += f_k * 2.0 ** min(k, _ARM_MODEL_MAX_LENGTH)
+
+    # Exact lower bound from a greedily grown frequent itemset: if a chain
+    # of L items stays frequent, all of its 2**L subsets are locally
+    # frequent and each of length k contributes 2**k rule candidates
+    # (sum 3**L).  This is *measured*, so a cluster-pure focal subset —
+    # where the clique average dilutes a dense core — still prices ARM's
+    # explosion correctly.
+    chain_mask = dq
+    chain_length = 0
+    used_attrs: set[int] = set()
+    for (attribute, _value), mask in sorted(
+        item_tidsets.items(),
+        key=lambda kv: -(kv[1] & dq).bit_count(),
+    ):
+        if attribute in used_attrs:
+            continue
+        if query.item_attributes is not None and \
+                attribute not in query.item_attributes:
+            continue
+        extended = chain_mask & mask
+        if extended.bit_count() >= min_count:
+            chain_mask = extended
+            chain_length += 1
+            used_attrs.add(attribute)
+    count = max(count, 2.0 ** min(chain_length, 16))
+    fanout = max(fanout, 3.0 ** min(chain_length, 13))
+    return count, fanout
+
+
+def _vectorized_cardinalities(
+    query: LocalizedQuery,
+    focal: FocalRange,
+    stats: IndexStatistics,
+    min_count: int,
+    global_floor: int,
+    aitem_fraction: float,
+    contained_fraction: float,
+) -> dict[str, float]:
+    """Data-aware candidate/survivor counts from the per-MIP profiles."""
+    n = stats.n_mips
+    if n == 0:
+        return {
+            "n_cands": 0.0,
+            "n_cands_supported": 0.0,
+            "n_contained": 0.0,
+            "est_qualified": 0.0,
+            "est_qualified_partial": 0.0,
+            "qualified_fanout": 0.0,
+        }
+    if stats.item_local_counts.shape[1] == 0:
+        # No per-item profile: fall back to the distribution-based lemmas.
+        upper = stats.fraction_with_count_at_least(min_count)
+        uniform = stats.fraction_with_count_at_least(global_floor)
+        pass_frac = (upper * uniform) ** 0.5
+        n_cands = expected_leaf_matches(
+            n, stats.avg_box_extents, focal.hull_extents(), stats.cardinalities
+        )
+        n_supported = n_cands * upper
+        n_contained = n_supported * contained_fraction
+        qualified = n_cands * aitem_fraction * pass_frac
+        return {
+            "n_cands": n_cands,
+            "n_cands_supported": n_supported,
+            "n_contained": n_contained,
+            "est_qualified": qualified,
+            "est_qualified_partial": max(
+                qualified - n_contained * aitem_fraction, 0.0
+            ),
+            "qualified_fanout": qualified * max(stats.avg_pow2_length, 1.0),
+        }
+
+    fixed = stats.mip_fixed_values
+    overlap = np.ones(n, dtype=bool)
+    contained = np.ones(n, dtype=bool)
+    local_upper = np.full(n, stats.n_records, dtype=np.int64)
+    for ai, values in query.range_selections.items():
+        card = stats.cardinalities[ai]
+        sel = np.zeros(card, dtype=bool)
+        sel[list(values)] = True
+        col = fixed[:, ai]
+        fixes = col >= 0
+        in_sel = np.zeros(n, dtype=bool)
+        in_sel[fixes] = sel[col[fixes]]
+        overlap &= ~fixes | in_sel
+        if not sel.all():
+            contained &= fixes & in_sel
+        cols = [
+            stats.item_columns[(ai, v)]
+            for v in values
+            if (ai, v) in stats.item_columns
+        ]
+        if cols:
+            attr_counts = stats.item_local_counts[:, cols].sum(
+                axis=1, dtype=np.int64
+            )
+        else:
+            attr_counts = np.zeros(n, dtype=np.int64)
+        local_upper = np.minimum(local_upper, attr_counts)
+
+    if query.item_attributes is None:
+        aitem_ok = np.ones(n, dtype=bool)
+    else:
+        outside = [
+            a for a in range(stats.n_attributes) if a not in query.item_attributes
+        ]
+        aitem_ok = (
+            ~(fixed[:, outside] >= 0).any(axis=1)
+            if outside
+            else np.ones(n, dtype=bool)
+        )
+
+    supported = stats.mip_global_counts >= min_count
+    qualified_mask = overlap & aitem_ok & (local_upper >= min_count)
+    contained &= overlap
+    lengths = (fixed >= 0).sum(axis=1)
+    fanout = np.exp2(np.minimum(lengths, 16).astype(float))
+    return {
+        "n_cands": float(overlap.sum()),
+        "n_cands_supported": float((overlap & supported).sum()),
+        "n_contained": float((contained & supported).sum()),
+        "est_qualified": float(qualified_mask.sum()),
+        "est_qualified_partial": float((qualified_mask & ~contained).sum()),
+        "qualified_fanout": float(fanout[qualified_mask].sum()),
+    }
+
+
+def _aitem_fraction(query: LocalizedQuery, stats: IndexStatistics) -> float:
+    """P(a stored itemset uses only Aitem attributes), from the length histogram."""
+    if query.item_attributes is None:
+        return 1.0
+    if stats.n_mips == 0:
+        return 0.0
+    p_attr = len(query.item_attributes) / stats.n_attributes
+    total = sum(stats.length_histogram.values())
+    return (
+        sum(count * p_attr**length
+            for length, count in stats.length_histogram.items())
+        / total
+    )
+
+
+def _contained_fraction(
+    query: LocalizedQuery, focal: FocalRange, stats: IndexStatistics
+) -> float:
+    """P(an overlapping MIP is fully contained in the focal region).
+
+    A MIP is contained iff, on every attribute whose selection is partial,
+    the MIP fixes that attribute (to an admitted value).  Estimated from
+    per-attribute fixing probabilities and selection fractions.
+    """
+    prob = 1.0
+    for dim, (card, mask) in enumerate(
+        zip(focal.cardinalities, focal.value_masks)
+    ):
+        selected = mask.bit_count()
+        if selected == card:
+            continue  # full domain: any box is contained on this dimension
+        fix = stats.attr_fix_prob[dim]
+        # Conditioned on overlap, a fixed attribute already lands inside the
+        # selection, so containment on this dimension simply needs the
+        # attribute to be fixed at all.
+        prob *= fix
+    return prob
+
+
+class CostModel:
+    """Constant-time evaluation of the six plan cost formulae."""
+
+    def __init__(self, stats: IndexStatistics, weights: CostWeights | None = None):
+        self.stats = stats
+        self.weights = weights if weights is not None else CostWeights()
+
+    # -- cardinality estimates (Lemmas 4.1-4.5) ------------------------------
+
+    def est_candidates_search(self, profile: QueryProfile) -> float:
+        """Lemma 4.1: expected MIPs intersected by the focal hull."""
+        return expected_leaf_matches(
+            self.stats.n_mips,
+            self.stats.avg_box_extents,
+            profile.hull_extents,
+            self.stats.cardinalities,
+        )
+
+    def supported_selectivity(self, profile: QueryProfile) -> float:
+        """Fraction of MIPs passing the supported filter (Lemma 4.4)."""
+        return self.stats.fraction_with_count_at_least(profile.min_count)
+
+    def est_candidates_supported(self, profile: QueryProfile) -> float:
+        return self.est_candidates_search(profile) * self.supported_selectivity(
+            profile
+        )
+
+    def est_pass_eliminate(self, est_in: float, profile: QueryProfile,
+                           after_supported: bool) -> float:
+        """Lemma 4.2 analogue: expected candidates surviving the local
+        support check.
+
+        The true pass fraction lies between two computable bounds: the
+        supported-filter fraction (local count can never exceed the global
+        count, Lemma 4.4) and the locally-uniform-density fraction (local
+        count ~ global count x |D^Q|/|D|).  Local patterns concentrate
+        support inside focal subsets, so the uniform bound is pessimistic;
+        the geometric mean of the two interpolates between them.
+        """
+        upper = self.stats.fraction_with_count_at_least(profile.min_count)
+        uniform = self.stats.fraction_with_count_at_least(profile.global_floor)
+        base = (upper * uniform) ** 0.5
+        if after_supported:
+            sigma = max(self.supported_selectivity(profile), 1e-12)
+            base = min(1.0, base / sigma)
+        return est_in * base
+
+    def est_node_accesses(self, profile: QueryProfile,
+                          supported: bool) -> float:
+        """Eq. 1 COST(S) / Eq. 3 COST(SS): expected node accesses."""
+        plain = expected_node_accesses(
+            list(self.stats.level_stats),
+            profile.hull_extents,
+            self.stats.cardinalities,
+        )
+        if not supported:
+            return plain
+        # Per-level pruning fractions from the precomputed max-count profiles.
+        total = 1.0
+        root_level = max((s.level for s in self.stats.level_stats), default=0)
+        by_level = {p.level: p for p in self.stats.level_counts}
+        q_norm = [
+            q / c for q, c in zip(profile.hull_extents, self.stats.cardinalities)
+        ]
+        for stat in self.stats.level_stats:
+            if stat.level == root_level:
+                continue
+            prob = 1.0
+            for dim, card in enumerate(self.stats.cardinalities):
+                prob *= min(1.0, stat.avg_extents[dim] / card + q_norm[dim])
+            surviving = by_level.get(stat.level)
+            frac = (
+                surviving.fraction_at_least(profile.min_count)
+                if surviving is not None
+                else 1.0
+            )
+            total += stat.n_nodes * prob * frac
+        return total
+
+    # -- per-operator loads ----------------------------------------------------
+
+    def search_load(self, profile: QueryProfile, supported: bool) -> float:
+        """Work of SEARCH / SUPPORTED-SEARCH: node visits plus the exact
+        per-candidate classification against the focal value sets."""
+        nodes = self.est_node_accesses(profile, supported=supported)
+        cands = profile.n_cands_supported if supported else profile.n_cands
+        return nodes + cands
+
+    def eliminate_load(self, profile: QueryProfile, kind: PlanKind) -> float:
+        """Eq. 1 COST(E): record-level checks in tidset-word units.
+
+        SS-E-U-V only pays for the partially-overlapped candidates
+        (Lemma 4.5 exempts contained MIPs from the record-level check).
+        """
+        supported = kind in (PlanKind.SSEV, PlanKind.SSVS, PlanKind.SSEUV)
+        cands = profile.n_cands_supported if supported else profile.n_cands
+        if kind is PlanKind.SSEUV:
+            cands = max(cands - profile.n_contained, 0.0)
+        return cands * profile.aitem_fraction * self.stats.tidset_words
+
+    def verify_load(self, profile: QueryProfile) -> float:
+        """Eq. 1 COST(V): exponential antecedent fan-out times word cost."""
+        return profile.qualified_fanout * self.stats.tidset_words
+
+    def select_load(self, profile: QueryProfile) -> float:
+        """Eq. 6 COST(sigma): focal-subset record extraction."""
+        return float(profile.dq_size * self.stats.n_attributes)
+
+    def arm_load(self, profile: QueryProfile) -> float:
+        """Eq. 6 COST(eps_AR): the subset scan (building the subset's item
+        tidsets, ~|D^Q| x n), from-scratch mining sized by the local-
+        itemset estimate, plus its rule-generation fan-out."""
+        dq_words = max(1, -(-profile.dq_size // 64))
+        est_local = max(1.0, profile.arm_itemsets)
+        return (
+            float(profile.dq_size * self.stats.n_attributes)
+            + est_local * max(self.stats.avg_length, 1.0) * dq_words
+            + profile.arm_fanout * dq_words
+        )
+
+    # -- plan load vectors --------------------------------------------------------
+
+    def loads(self, kind: PlanKind, profile: QueryProfile) -> dict[str, float]:
+        """The load-feature vector of one plan for one query.
+
+        ``const`` counts the plan's pipeline stages, pricing the fixed
+        per-operator overhead — the intermediate-materialization cost that
+        selection push-up (VS) saves.
+        """
+        if kind is PlanKind.ARM:
+            return {
+                "select": self.select_load(profile),
+                "arm": self.arm_load(profile),
+                "const": 2.0,
+            }
+        supported = kind in (PlanKind.SSEV, PlanKind.SSVS, PlanKind.SSEUV)
+        loads = {
+            "search": self.search_load(profile, supported=supported),
+            "eliminate": self.eliminate_load(profile, kind),
+            "verify": self.verify_load(profile),
+        }
+        if kind in (PlanKind.SEV, PlanKind.SSEV):
+            loads["const"] = 3.0
+        elif kind in (PlanKind.SVS, PlanKind.SSVS):
+            loads["const"] = 2.0  # selection pushed up: one stage fewer
+        else:  # SS-E-U-V: split + eliminate + union + verify
+            loads["const"] = 4.0
+        return loads
+
+    # -- costs ------------------------------------------------------------------
+
+    def estimate(self, kind: PlanKind, profile: QueryProfile) -> float:
+        """Estimated execution cost (seconds) of one plan."""
+        return self.weights.price(self.loads(kind, profile))
+
+    def estimate_all(self, profile: QueryProfile) -> dict[PlanKind, float]:
+        """All six formulae — the optimizer's constant-time computation."""
+        return {kind: self.estimate(kind, profile) for kind in PlanKind}

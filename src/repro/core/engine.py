@@ -1,0 +1,194 @@
+"""The COLARM engine: the user-facing facade (Figure 2).
+
+``Colarm`` wires the whole framework together: offline preprocessing
+(MIP-index construction and optional cost calibration) at construction
+time, then online query processing — optimizer-selected or forced-plan —
+through :meth:`Colarm.query`.
+
+    >>> from repro.dataset import salary_dataset
+    >>> from repro.core.engine import Colarm
+    >>> engine = Colarm(salary_dataset(), primary_support=0.15)
+    >>> outcome = engine.query(
+    ...     "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+    ...     "WHERE RANGE Location = (Seattle) AND Gender = (F) "
+    ...     "HAVING minsupport = 0.5 AND minconfidence = 0.8;"
+    ... )
+    >>> outcome.n_rules > 0
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import tidset as ts
+from repro.core.calibration import CalibrationReport, calibrate, default_probe_queries
+from repro.core.costs import CostWeights
+from repro.core.mipindex import MIPIndex, build_mip_index
+from repro.core.optimizer import ColarmOptimizer, PlanChoice
+from repro.core.parser import parse_query
+from repro.core.plans import PlanKind, PlanResult, execute_plan, plan_from_name
+from repro.core.query import LocalizedQuery
+from repro.dataset.table import RelationalTable
+from repro.itemsets.rules import Rule, rules_from_itemsets
+from repro.rtree.rtree import DEFAULT_MAX_ENTRIES
+
+__all__ = ["QueryOutcome", "Colarm"]
+
+
+@dataclass
+class QueryOutcome:
+    """Everything returned for one localized mining request."""
+
+    rules: list[Rule]
+    plan: PlanKind
+    chosen_by: str                  # "optimizer" or "forced"
+    choice: PlanChoice | None       # present when the optimizer ran
+    result: PlanResult
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.rules)
+
+    @property
+    def elapsed(self) -> float:
+        return self.result.elapsed
+
+    @property
+    def dq_size(self) -> int:
+        return self.result.dq_size
+
+
+class Colarm:
+    """Build once, query many: the localized rule mining engine."""
+
+    def __init__(
+        self,
+        table: RelationalTable,
+        primary_support: float,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        packing: str = "hilbert",
+        weights: CostWeights | None = None,
+        expand: bool = False,
+    ):
+        self.index: MIPIndex = build_mip_index(
+            table, primary_support, max_entries=max_entries, packing=packing
+        )
+        self.expand = expand
+        self.optimizer = ColarmOptimizer(self.index, weights)
+
+    @classmethod
+    def from_index(
+        cls,
+        index: MIPIndex,
+        weights: CostWeights | None = None,
+        expand: bool = False,
+    ) -> "Colarm":
+        """Wrap an already-built (e.g. loaded-from-disk) MIP-index."""
+        engine = cls.__new__(cls)
+        engine.index = index
+        engine.expand = expand
+        engine.optimizer = ColarmOptimizer(index, weights)
+        return engine
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def table(self) -> RelationalTable:
+        return self.index.table
+
+    @property
+    def schema(self):
+        return self.index.table.schema
+
+    @property
+    def n_mips(self) -> int:
+        return self.index.n_mips
+
+    # -- offline: calibration ------------------------------------------------
+
+    def calibrate(
+        self,
+        probe_queries: list[LocalizedQuery] | None = None,
+        n_probes: int = 8,
+        seed: int = 0,
+    ) -> CalibrationReport:
+        """Fit the cost model's unit weights from a probe workload."""
+        if probe_queries is None:
+            probe_queries = default_probe_queries(
+                self.index, n_queries=n_probes, seed=seed
+            )
+        report = calibrate(self.index, probe_queries, expand=self.expand)
+        self.optimizer.set_weights(report.weights)
+        return report
+
+    # -- online: queries -------------------------------------------------------
+
+    def parse(self, text: str) -> LocalizedQuery:
+        """Parse a textual ``REPORT LOCALIZED ASSOCIATION RULES`` query."""
+        return parse_query(text, self.schema).query
+
+    def query(
+        self,
+        request: LocalizedQuery | str,
+        plan: PlanKind | str | None = None,
+    ) -> QueryOutcome:
+        """Answer one localized mining request.
+
+        With ``plan=None`` the COLARM optimizer picks the strategy; passing
+        a :class:`PlanKind` (or its paper name, e.g. ``"SS-E-U-V"``) forces
+        a specific plan.
+        """
+        q = self.parse(request) if isinstance(request, str) else request
+        if plan is None:
+            choice = self.optimizer.choose(q)
+            kind, chosen_by = choice.kind, "optimizer"
+        else:
+            choice = None
+            kind = plan_from_name(plan) if isinstance(plan, str) else plan
+            chosen_by = "forced"
+        result = execute_plan(kind, self.index, q, expand=self.expand)
+        return QueryOutcome(
+            rules=result.rules,
+            plan=kind,
+            chosen_by=chosen_by,
+            choice=choice,
+            result=result,
+        )
+
+    def compare_plans(
+        self, request: LocalizedQuery | str
+    ) -> dict[PlanKind, PlanResult]:
+        """Execute all six plans for one request (the evaluation harness)."""
+        q = self.parse(request) if isinstance(request, str) else request
+        return {
+            kind: execute_plan(kind, self.index, q, expand=self.expand)
+            for kind in PlanKind
+        }
+
+    def choose_plan(self, request: LocalizedQuery | str) -> PlanChoice:
+        """The optimizer's suggestion without executing anything."""
+        q = self.parse(request) if isinstance(request, str) else request
+        return self.optimizer.choose(q)
+
+    # -- convenience: global rules ------------------------------------------------
+
+    def global_rules(self, minsupp: float, minconf: float) -> list[Rule]:
+        """Classic *global* rules straight from the stored closed itemsets.
+
+        The baseline analysts start from; comparing these against localized
+        query results is how Simpson's-paradox effects are surfaced
+        (Section 5.3 / :mod:`repro.analysis.simpson`).
+        """
+        full = ts.full(self.table.n_records)
+
+        def global_count(items):
+            return self.index.ittree.local_support_count(items, full)
+
+        return rules_from_itemsets(
+            [mip.itemset for mip in self.index.mips],
+            global_count,
+            self.table.n_records,
+            minsupp,
+            minconf,
+        )

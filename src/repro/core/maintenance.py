@@ -1,0 +1,189 @@
+"""Incremental maintenance of the MIP-index (delta-store pattern).
+
+POQM's weak spot is data change: the offline phase is expensive, so
+rebuilding on every appended record defeats the point.  This module keeps
+the classic main+delta split:
+
+* the **main** part is the immutable MIP-index built at the last rebuild;
+* the **delta** buffer holds records appended since then.
+
+Localized queries stay *exact*: every support count is the stored tidset
+count within the focal subset **plus** a brute-force count over the (few)
+matching delta records.  The one caveat is coverage: an itemset absent
+from the main index (global support below the primary floor at rebuild
+time) can have gained at most ``|delta|`` records since, so results are
+guaranteed complete whenever
+
+    minsupp * |D^Q| >= primary_support * |D_main| + |delta|
+
+(`MaintainedIndex.coverage_guaranteed` checks it, and `auto_rebuild`
+triggers a rebuild once the delta exceeds its budget).
+
+Rule *statistics* (supports, confidences) are always exact over
+main + delta; the emitted rule set matches a full rebuild's up to closure
+representation (candidates are the main index's closed itemsets, whose
+closures can shift slightly once the delta records are folded in).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro import tidset as ts
+from repro.core.mipindex import MIPIndex, build_mip_index
+from repro.core.query import LocalizedQuery
+from repro.dataset.table import RelationalTable
+from repro.errors import DataError
+from repro.itemsets.apriori import min_count_for
+from repro.itemsets.itemset import Itemset
+from repro.itemsets.rules import Rule, rules_from_itemsets
+
+__all__ = ["MaintainedIndex"]
+
+
+class MaintainedIndex:
+    """A MIP-index plus a delta buffer of appended records.
+
+    ``max_delta_fraction`` bounds the buffer relative to the main table;
+    :meth:`append` triggers an automatic rebuild beyond it (disable with
+    ``auto_rebuild=False`` and call :meth:`rebuild` manually).
+    """
+
+    def __init__(
+        self,
+        table: RelationalTable,
+        primary_support: float,
+        max_delta_fraction: float = 0.1,
+        auto_rebuild: bool = True,
+    ):
+        if not 0.0 < max_delta_fraction < 1.0:
+            raise DataError("max_delta_fraction must be in (0, 1)")
+        self.primary_support = primary_support
+        self.max_delta_fraction = max_delta_fraction
+        self.auto_rebuild = auto_rebuild
+        self.index: MIPIndex = build_mip_index(table, primary_support)
+        self._delta_rows: list[np.ndarray] = []
+        self.n_rebuilds = 0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def n_main_records(self) -> int:
+        return self.index.table.n_records
+
+    @property
+    def n_delta_records(self) -> int:
+        return len(self._delta_rows)
+
+    @property
+    def n_records(self) -> int:
+        return self.n_main_records + self.n_delta_records
+
+    @property
+    def schema(self):
+        return self.index.table.schema
+
+    def coverage_guaranteed(self, query: LocalizedQuery, dq_size: int) -> bool:
+        """Whether results for this query are provably complete."""
+        floor = self.primary_support * self.n_main_records
+        return query.minsupp * dq_size >= floor + self.n_delta_records
+
+    # -- mutation --------------------------------------------------------------
+
+    def append(self, records: Sequence[Sequence[int]]) -> None:
+        """Append records (rows of value indices) to the delta buffer."""
+        cards = self.schema.cardinalities()
+        for record in records:
+            row = np.asarray(record, dtype=np.int32)
+            if row.shape != (self.schema.n_attributes,):
+                raise DataError(
+                    f"record has shape {row.shape}, expected "
+                    f"({self.schema.n_attributes},)"
+                )
+            if row.min() < 0 or np.any(row >= np.asarray(cards)):
+                raise DataError("record value outside its attribute domain")
+            self._delta_rows.append(row)
+        if (
+            self.auto_rebuild
+            and self.n_delta_records > self.max_delta_fraction * self.n_main_records
+        ):
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Fold the delta into the main table and rebuild the index."""
+        if not self._delta_rows:
+            return
+        data = np.vstack([self.index.table.data, np.vstack(self._delta_rows)])
+        self.index = build_mip_index(
+            RelationalTable(self.schema, data), self.primary_support
+        )
+        self._delta_rows = []
+        self.n_rebuilds += 1
+
+    # -- queries ------------------------------------------------------------------
+
+    def query(self, query: LocalizedQuery) -> list[Rule]:
+        """Answer a localized query over main + delta, exactly.
+
+        Candidate itemsets come from the main index (SEARCH + ELIMINATE
+        with delta-corrected counts); every support count is
+        ``stored ∩ D^Q`` plus a scan of the matching delta records.
+        """
+        query.validate_against(self.schema)
+        focal = query.focal_range(self.index.cardinalities)
+        dq_main = self.index.table.tids_matching(query.range_selections)
+        delta_rows = self._matching_delta(query)
+        dq_size = ts.count(dq_main) + len(delta_rows)
+        if dq_size == 0:
+            return []
+        min_count = min_count_for(query.minsupp, dq_size)
+
+        def delta_count(items: Itemset) -> int:
+            return sum(
+                1
+                for row in delta_rows
+                if all(row[item.attribute] == item.value for item in items)
+            )
+
+        cache: dict[Itemset, int | None] = {}
+
+        def local_count(items: Itemset) -> int | None:
+            if items not in cache:
+                stored = self.index.ittree.local_support_count(items, dq_main)
+                cache[items] = (
+                    None if stored is None else stored + delta_count(items)
+                )
+            return cache[items]
+
+        from repro.core.query import Overlap
+
+        hull = focal.hull()
+        candidates = []
+        for entry in self.index.rtree.search(hull).entries:
+            mip = entry.payload
+            if focal.classify(mip.box) is Overlap.DISJOINT:
+                continue
+            if query.item_attributes is not None and not all(
+                item.attribute in query.item_attributes
+                for item in mip.itemset
+            ):
+                continue
+            total = ts.count(mip.tidset & dq_main) + delta_count(mip.itemset)
+            if total >= min_count:
+                cache[mip.itemset] = total
+                candidates.append(mip.itemset)
+        return rules_from_itemsets(
+            candidates, local_count, dq_size, query.minsupp, query.minconf
+        )
+
+    def _matching_delta(self, query: LocalizedQuery) -> list[np.ndarray]:
+        out = []
+        for row in self._delta_rows:
+            if all(
+                int(row[ai]) in values
+                for ai, values in query.range_selections.items()
+            ):
+                out.append(row)
+        return out

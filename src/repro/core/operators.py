@@ -1,0 +1,456 @@
+"""The isolated online-mining operators (Section 4).
+
+COLARM treats online mining not as a black box but as a pipeline of
+operators with precise inputs and outputs:
+
+* SELECT            — extract the focal subset's records (ARM plan);
+* SEARCH            — R-tree window search for overlapping MIPs;
+* SUPPORTED-SEARCH  — SEARCH with the supported R-tree filter (Lemma 4.4);
+* ELIMINATE         — record-level ``Aitem`` + minsupp filtering;
+* VERIFY            — rule generation + minconf checks via the IT-tree;
+* SUPPORTED-VERIFY  — ELIMINATE and VERIFY interleaved (selection push-up);
+* UNION             — merge contained and partially-overlapped candidates;
+* ARM               — traditional from-scratch mining on the focal subset.
+
+Every operator call appends an :class:`OperatorTrace` (cardinalities,
+record-level work, wall time) to the query's :class:`ExecutionTrace`; the
+calibration module turns those traces into the cost-model unit weights.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro import tidset as ts
+from repro.core.mip import MIP
+from repro.core.mipindex import MIPIndex
+from repro.core.query import FocalRange, LocalizedQuery, Overlap
+from repro.dataset.table import RelationalTable
+from repro.errors import QueryError
+from repro.itemsets.apriori import min_count_for
+from repro.itemsets.charm import charm
+from repro.itemsets.itemset import Itemset, make_itemset
+from repro.itemsets.rules import Rule, generate_rules, rules_from_itemsets
+
+__all__ = [
+    "OperatorTrace",
+    "ExecutionTrace",
+    "QueryContext",
+    "make_context",
+    "op_search",
+    "op_supported_search",
+    "op_eliminate",
+    "op_verify",
+    "op_supported_verify",
+    "op_union",
+    "op_select",
+    "op_arm",
+]
+
+#: A candidate MIP tagged with its exact relation to the focal region.
+Candidate = tuple[MIP, Overlap]
+#: A candidate that passed the support check, with its exact local count.
+Qualified = tuple[MIP, int]
+
+
+@dataclass
+class OperatorTrace:
+    """Measurements of one operator invocation."""
+
+    name: str
+    input_size: int
+    output_size: int
+    elapsed: float
+    detail: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ExecutionTrace:
+    """All operator traces of one plan execution, in pipeline order."""
+
+    operators: list[OperatorTrace] = field(default_factory=list)
+
+    def add(self, trace: OperatorTrace) -> None:
+        self.operators.append(trace)
+
+    def total_elapsed(self) -> float:
+        return sum(op.elapsed for op in self.operators)
+
+    def by_name(self, name: str) -> OperatorTrace | None:
+        for op in self.operators:
+            if op.name == name:
+                return op
+        return None
+
+
+@dataclass
+class QueryContext:
+    """Shared runtime state for one localized query execution."""
+
+    index: MIPIndex
+    query: LocalizedQuery
+    focal: FocalRange
+    dq: int            # focal-subset tidset
+    dq_size: int       # |D^Q|
+    min_count: int     # ceil(minsupp * |D^Q|)
+    expand: bool       # expand candidates to all locally frequent itemsets
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+
+    def aitem_allows(self, itemset: Itemset) -> bool:
+        """Whether every item of ``itemset`` lies in the query's Aitem."""
+        aitem = self.query.item_attributes
+        if aitem is None:
+            return True
+        return all(item.attribute in aitem for item in itemset)
+
+
+def make_context(
+    index: MIPIndex, query: LocalizedQuery, expand: bool = False
+) -> QueryContext:
+    """Resolve the focal subset and thresholds (the shared query setup).
+
+    Computing ``D^Q``'s tidset and size is needed by every plan (even the
+    thresholds depend on ``|D^Q|``), so it is traced as a common ``FOCUS``
+    step rather than attributed to any single plan's operators.
+    """
+    query.validate_against(index.table.schema)
+    start = time.perf_counter()
+    focal = query.focal_range(index.cardinalities)
+    dq = index.table.tids_matching(query.range_selections)
+    dq_size = ts.count(dq)
+    if dq_size == 0:
+        raise QueryError("focal subset is empty; nothing to mine")
+    min_count = min_count_for(query.minsupp, dq_size)
+    ctx = QueryContext(
+        index=index,
+        query=query,
+        focal=focal,
+        dq=dq,
+        dq_size=dq_size,
+        min_count=min_count,
+        expand=expand,
+    )
+    ctx.trace.add(
+        OperatorTrace(
+            name="FOCUS",
+            input_size=index.table.n_records,
+            output_size=dq_size,
+            elapsed=time.perf_counter() - start,
+        )
+    )
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# SEARCH and SUPPORTED-SEARCH
+# ---------------------------------------------------------------------------
+
+
+def op_search(ctx: QueryContext) -> list[Candidate]:
+    """SEARCH: MIPs overlapping the focal region, with exact classification.
+
+    Probes the R-tree with the region's hull interval (no false negatives)
+    and re-classifies each hit against the true per-attribute value sets;
+    hull-only false positives are discarded here.
+    """
+    return _search(ctx, name="SEARCH", min_count=None)
+
+
+def op_supported_search(ctx: QueryContext) -> list[Candidate]:
+    """SUPPORTED-SEARCH: SEARCH plus the global-count upper-bound filter.
+
+    Entries (and whole subtrees) whose global count cannot reach
+    ``minsupp * |D^Q|`` are pruned during the tree descent (Section 4.3).
+    """
+    return _search(ctx, name="SUPPORTED-SEARCH", min_count=ctx.min_count)
+
+
+def _search(ctx: QueryContext, name: str, min_count: int | None) -> list[Candidate]:
+    start = time.perf_counter()
+    hull = ctx.focal.hull()
+    if min_count is None:
+        result = ctx.index.rtree.search(hull)
+    else:
+        result = ctx.index.rtree.search_supported(hull, min_count)
+    # Exact classification of every hit in one vectorized pass (equivalent
+    # to FocalRange.classify per box — asserted by the operator tests).
+    overlaps, contained = ctx.focal.classify_all(
+        ctx.index.stats.mip_fixed_values
+    )
+    candidates: list[Candidate] = []
+    for entry in result.entries:
+        mip: MIP = entry.payload
+        if not overlaps[mip.row]:
+            continue
+        overlap = Overlap.CONTAINED if contained[mip.row] else Overlap.PARTIAL
+        candidates.append((mip, overlap))
+    ctx.trace.add(
+        OperatorTrace(
+            name=name,
+            input_size=len(ctx.index.mips),
+            output_size=len(candidates),
+            elapsed=time.perf_counter() - start,
+            detail={
+                "nodes_visited": result.nodes_visited,
+                "hull_hits": len(result.entries),
+            },
+        )
+    )
+    return candidates
+
+
+# ---------------------------------------------------------------------------
+# ELIMINATE
+# ---------------------------------------------------------------------------
+
+
+def op_eliminate(ctx: QueryContext, candidates: list[Candidate]) -> list[Qualified]:
+    """ELIMINATE: record-level minsupp check (plus the Aitem filter).
+
+    Every surviving candidate carries its exact local support count so
+    VERIFY never recomputes it.  In expanded mode the Aitem filter moves to
+    the expanded itemsets inside VERIFY (a candidate's closure may add
+    attributes outside Aitem whose sub-itemsets still matter).
+    """
+    start = time.perf_counter()
+    record_checks = 0
+    qualified: list[Qualified] = []
+    for mip, _overlap in candidates:
+        if not ctx.expand and not ctx.aitem_allows(mip.itemset):
+            continue
+        record_checks += 1
+        local = mip.local_count(ctx.dq)
+        if local >= ctx.min_count:
+            qualified.append((mip, local))
+    ctx.trace.add(
+        OperatorTrace(
+            name="ELIMINATE",
+            input_size=len(candidates),
+            output_size=len(qualified),
+            elapsed=time.perf_counter() - start,
+            detail={"record_checks": record_checks},
+        )
+    )
+    return qualified
+
+
+# ---------------------------------------------------------------------------
+# VERIFY and SUPPORTED-VERIFY
+# ---------------------------------------------------------------------------
+
+
+def op_verify(ctx: QueryContext, qualified: list[Qualified]) -> list[Rule]:
+    """VERIFY: rule generation and minconf checks over the IT-tree."""
+    start = time.perf_counter()
+    rules, lookups = _rules_from_qualified(ctx, qualified)
+    ctx.trace.add(
+        OperatorTrace(
+            name="VERIFY",
+            input_size=len(qualified),
+            output_size=len(rules),
+            elapsed=time.perf_counter() - start,
+            detail={"support_lookups": lookups},
+        )
+    )
+    return rules
+
+
+def op_supported_verify(ctx: QueryContext, candidates: list[Candidate]) -> list[Rule]:
+    """SUPPORTED-VERIFY: selection pushed up into verification (Section 4.2).
+
+    The minsupp check is interleaved with rule generation in a single pass,
+    avoiding ELIMINATE's separate materialized intermediate when it would
+    filter little.
+    """
+    start = time.perf_counter()
+    record_checks = 0
+    qualified: list[Qualified] = []
+    for mip, _overlap in candidates:
+        if not ctx.expand and not ctx.aitem_allows(mip.itemset):
+            continue
+        record_checks += 1
+        local = mip.local_count(ctx.dq)
+        if local >= ctx.min_count:
+            qualified.append((mip, local))
+    rules, lookups = _rules_from_qualified(ctx, qualified)
+    ctx.trace.add(
+        OperatorTrace(
+            name="SUPPORTED-VERIFY",
+            input_size=len(candidates),
+            output_size=len(rules),
+            elapsed=time.perf_counter() - start,
+            detail={"record_checks": record_checks, "support_lookups": lookups},
+        )
+    )
+    return rules
+
+
+def _rules_from_qualified(
+    ctx: QueryContext, qualified: list[Qualified]
+) -> tuple[list[Rule], int]:
+    """Generate localized rules from support-qualified candidates.
+
+    Support of antecedents (and, in expanded mode, of sub-itemsets) is the
+    record-level count ``|t(X) ∩ D^Q|``, computed by intersecting the
+    items' tidsets with the focal tidset — one 64-bit-word AND chain per
+    lookup, memoized per query.  (Equivalent to the IT-tree closure lookup
+    of :meth:`ClosedITTree.local_support_count` for every itemset above
+    the primary floor, and exact below it too; the bitmask path is what
+    makes VERIFY's "record-level check" cheap.)
+    """
+    item_tidsets = ctx.index.table.item_tidsets()
+    cache: dict[Itemset, int | None] = {}
+    lookups = 0
+    for mip, local in qualified:
+        cache[mip.itemset] = local
+
+    def local_count(items: Itemset) -> int | None:
+        nonlocal lookups
+        if items in cache:
+            return cache[items]
+        lookups += 1
+        mask = ctx.dq
+        for item in items:
+            mask &= item_tidsets.get(item, 0)
+            if not mask:
+                break
+        count_ = mask.bit_count()
+        cache[items] = count_
+        return count_
+
+    if not ctx.expand:
+        rules: list[Rule] = []
+        for mip, _local in qualified:
+            rules.extend(
+                generate_rules(
+                    mip.itemset, local_count, ctx.dq_size, ctx.query.minconf
+                )
+            )
+        rules.sort(key=lambda r: (r.antecedent, r.consequent))
+        return rules, lookups
+
+    # Expanded mode: enumerate every locally frequent sub-itemset (within
+    # Aitem) of the qualified candidates; all six plans then return the same
+    # rule set whenever the primary floor covers the query (DESIGN.md).
+    family: set[Itemset] = set()
+    for mip, _local in qualified:
+        allowed = make_itemset(
+            item
+            for item in mip.itemset
+            if ctx.query.item_attributes is None
+            or item.attribute in ctx.query.item_attributes
+        )
+        n = len(allowed)
+        for mask in range(1, 1 << n):
+            family.add(tuple(allowed[i] for i in range(n) if mask >> i & 1))
+    rules = rules_from_itemsets(
+        sorted(family),
+        local_count,
+        ctx.dq_size,
+        ctx.query.minsupp,
+        ctx.query.minconf,
+    )
+    return rules, lookups
+
+
+# ---------------------------------------------------------------------------
+# UNION
+# ---------------------------------------------------------------------------
+
+
+def op_union(
+    ctx: QueryContext, contained: list[Qualified], partial: list[Qualified]
+) -> list[Qualified]:
+    """UNION: merge the two mutually exclusive qualified lists (constant cost)."""
+    start = time.perf_counter()
+    merged = contained + partial
+    ctx.trace.add(
+        OperatorTrace(
+            name="UNION",
+            input_size=len(contained) + len(partial),
+            output_size=len(merged),
+            elapsed=time.perf_counter() - start,
+        )
+    )
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# SELECT and ARM (the traditional plan)
+# ---------------------------------------------------------------------------
+
+
+def op_select(ctx: QueryContext) -> RelationalTable:
+    """SELECT: extract the focal subset's records into a new table."""
+    start = time.perf_counter()
+    sub = ctx.index.table.subset(ctx.dq)
+    ctx.trace.add(
+        OperatorTrace(
+            name="SELECT",
+            input_size=ctx.index.table.n_records,
+            output_size=sub.n_records,
+            elapsed=time.perf_counter() - start,
+        )
+    )
+    return sub
+
+
+def op_arm(ctx: QueryContext, sub: RelationalTable) -> list[Rule]:
+    """ARM: traditional two-step rule mining from scratch on the subset.
+
+    Mines closed frequent itemsets with CHARM at the query's minsupp over
+    the item attributes only, then generates rules with antecedent supports
+    resolved through a throwaway IT-tree over the local closed sets.  In
+    expanded mode all locally frequent sub-itemsets are enumerated, to
+    mirror the expanded MIP-plans.
+    """
+    start = time.perf_counter()
+    item_tidsets = {
+        item: mask
+        for item, mask in sub.item_tidsets().items()
+        if ctx.query.item_attributes is None
+        or item.attribute in ctx.query.item_attributes
+    }
+    closed = charm(item_tidsets, sub.n_records, ctx.query.minsupp)
+    full = ts.full(sub.n_records)
+    cache: dict[Itemset, int | None] = {
+        cfi.items: cfi.support_count for cfi in closed
+    }
+
+    def local_count(items: Itemset) -> int | None:
+        if items in cache:
+            return cache[items]
+        mask = full
+        for item in items:
+            mask &= item_tidsets.get(item, 0)
+            if not mask:
+                break
+        count_ = mask.bit_count()
+        cache[items] = count_
+        return count_
+
+    if not ctx.expand:
+        itemsets = [cfi.items for cfi in closed]
+    else:
+        family: set[Itemset] = set()
+        for cfi in closed:
+            n = len(cfi.items)
+            for mask in range(1, 1 << n):
+                family.add(
+                    tuple(cfi.items[i] for i in range(n) if mask >> i & 1)
+                )
+        itemsets = sorted(family)
+    rules = rules_from_itemsets(
+        itemsets, local_count, sub.n_records, ctx.query.minsupp, ctx.query.minconf
+    )
+    ctx.trace.add(
+        OperatorTrace(
+            name="ARM",
+            input_size=sub.n_records,
+            output_size=len(rules),
+            elapsed=time.perf_counter() - start,
+            detail={"local_closed_itemsets": len(closed)},
+        )
+    )
+    return rules

@@ -1,0 +1,105 @@
+"""The COLARM cost-based optimizer (Sections 3.1 and 5.1).
+
+Given a localized mining request, the optimizer evaluates the six cost
+formulae — a constant-time computation over the precomputed index
+statistics — and suggests the plan with the lowest estimated cost.  The
+paper reports >93% plan-selection accuracy and at most ~5% regret when the
+choice is wrong; ``benchmarks/bench_optimizer_accuracy.py`` measures both
+for this implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import tidset as ts
+from repro.core.costs import CostModel, CostWeights, QueryProfile
+from repro.core.mipindex import MIPIndex
+from repro.core.plans import PlanKind
+from repro.core.query import LocalizedQuery
+from repro.errors import QueryError
+from repro.itemsets.apriori import min_count_for
+
+__all__ = ["PlanChoice", "ColarmOptimizer"]
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The optimizer's suggestion plus everything behind it."""
+
+    kind: PlanKind
+    estimates: dict[PlanKind, float]
+    profile: QueryProfile
+
+    def explain(self) -> str:
+        """Human-readable ranking of all six plans."""
+        lines = [
+            f"focal subset: {self.profile.dq_size} records, "
+            f"min_count={self.profile.min_count}"
+        ]
+        for kind, cost in sorted(self.estimates.items(), key=lambda kv: kv[1]):
+            marker = " <== chosen" if kind is self.kind else ""
+            lines.append(f"  {kind.value:<9} est {cost:.6f}s{marker}")
+        return "\n".join(lines)
+
+
+class ColarmOptimizer:
+    """Constant-time plan selection over a built MIP-index.
+
+    ``arm_risk_factor`` applies risk aversion to the ARM plan: its cost
+    comes from a *model* of the focal subset's itemset lattice (high
+    variance, unbounded downside when a dense region explodes), while the
+    MIP-plan costs come from near-exact index statistics.  ARM is chosen
+    only when its estimate beats the best MIP plan by that factor.
+    """
+
+    def __init__(
+        self,
+        index: MIPIndex,
+        weights: CostWeights | None = None,
+        arm_risk_factor: float = 1.2,
+    ):
+        self.index = index
+        self.cost_model = CostModel(index.stats, weights)
+        self.arm_risk_factor = arm_risk_factor
+
+    @property
+    def weights(self) -> CostWeights:
+        return self.cost_model.weights
+
+    def set_weights(self, weights: CostWeights) -> None:
+        self.cost_model = CostModel(self.index.stats, weights)
+
+    def profile_for(self, query: LocalizedQuery) -> QueryProfile:
+        """Resolve the focal subset and build the query's cost profile."""
+        query.validate_against(self.index.table.schema)
+        focal = query.focal_range(self.index.cardinalities)
+        dq = self.index.table.tids_matching(query.range_selections)
+        dq_size = ts.count(dq)
+        if dq_size == 0:
+            raise QueryError("focal subset is empty; nothing to optimize")
+        min_count = min_count_for(query.minsupp, dq_size)
+        item_tidsets = {
+            (item.attribute, item.value): mask
+            for item, mask in self.index.table.item_tidsets().items()
+        }
+        return QueryProfile.from_query(
+            query,
+            focal,
+            self.index.stats,
+            dq_size,
+            min_count,
+            item_local_tidsets=item_tidsets,
+            dq=dq,
+        )
+
+    def choose(self, query: LocalizedQuery) -> PlanChoice:
+        """Suggest the cheapest plan for this request."""
+        profile = self.profile_for(query)
+        estimates = self.cost_model.estimate_all(profile)
+        adjusted = {
+            kind: cost * (self.arm_risk_factor if kind is PlanKind.ARM else 1.0)
+            for kind, cost in estimates.items()
+        }
+        best = min(adjusted, key=lambda k: (adjusted[k], k.value))
+        return PlanChoice(kind=best, estimates=estimates, profile=profile)

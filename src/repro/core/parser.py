@@ -1,0 +1,202 @@
+"""Parser for the paper's textual query language (Section 2.2).
+
+Accepts the ``REPORT LOCALIZED ASSOCIATION RULES`` syntax::
+
+    REPORT LOCALIZED ASSOCIATION RULES
+    FROM salary
+    WHERE RANGE Location = (Seattle) AND Gender = (F)
+    AND ITEM ATTRIBUTES Age, Salary
+    HAVING minsupport = 0.5 AND minconfidence = 0.8;
+
+Keywords are case-insensitive; value lists may use parentheses or braces;
+attribute names and value labels may be double-quoted when they contain
+spaces (e.g. ``"QA Lead"``).  The ``FROM`` clause names the dataset (kept
+for API symmetry — the engine is already bound to one table) and the
+``ITEM ATTRIBUTES`` clause is optional, defaulting to all attributes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.query import LocalizedQuery
+from repro.dataset.schema import Schema
+from repro.errors import ParseError
+
+__all__ = ["ParsedQuery", "parse_query"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    "(?P<quoted>[^"]*)"      # double-quoted label
+    | (?P<word>[^\s(){}=,;]+)  # bare word (labels like 20-30, 90K-120K, idents)
+    | (?P<punct>[(){}=,;])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "report", "localized", "association", "rules", "from", "where", "range",
+    "and", "item", "attributes", "having", "minsupport", "minconfidence",
+}
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Outcome of parsing: the dataset name and the structured query."""
+
+    dataset: str
+    query: LocalizedQuery
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self._tokens: list[tuple[str, bool]] = []  # (text, was_quoted)
+        pos = 0
+        for match in _TOKEN_RE.finditer(text):
+            if text[pos:match.start()].strip():
+                raise ParseError(
+                    f"unexpected characters {text[pos:match.start()]!r}"
+                )
+            pos = match.end()
+            if match.group("quoted") is not None:
+                self._tokens.append((match.group("quoted"), True))
+            elif match.group("word") is not None:
+                self._tokens.append((match.group("word"), False))
+            else:
+                self._tokens.append((match.group("punct"), False))
+        if text[pos:].strip():
+            raise ParseError(f"unexpected trailing characters {text[pos:]!r}")
+        self._i = 0
+
+    def peek(self) -> str | None:
+        return self._tokens[self._i][0] if self._i < len(self._tokens) else None
+
+    def peek_keyword(self) -> str | None:
+        """Lower-cased next token if it is an unquoted keyword, else None."""
+        if self._i >= len(self._tokens):
+            return None
+        text, quoted = self._tokens[self._i]
+        lowered = text.lower()
+        return lowered if not quoted and lowered in _KEYWORDS else None
+
+    def next(self, expect_keyword: str | None = None) -> str:
+        if self._i >= len(self._tokens):
+            raise ParseError(
+                f"unexpected end of query"
+                + (f"; expected {expect_keyword!r}" if expect_keyword else "")
+            )
+        text, _quoted = self._tokens[self._i]
+        self._i += 1
+        if expect_keyword is not None and text.lower() != expect_keyword:
+            raise ParseError(f"expected {expect_keyword!r}, got {text!r}")
+        return text
+
+    def accept(self, token: str) -> bool:
+        if self.peek() is not None and self.peek().lower() == token:
+            self._i += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self._i >= len(self._tokens)
+
+
+def parse_query(text: str, schema: Schema) -> ParsedQuery:
+    """Parse a textual localized mining query against a schema."""
+    tokens = _Tokens(text)
+    for keyword in ("report", "localized", "association", "rules", "from"):
+        tokens.next(expect_keyword=keyword)
+    dataset = tokens.next()
+    tokens.next(expect_keyword="where")
+    tokens.next(expect_keyword="range")
+
+    ranges: dict[str, list[str]] = {}
+    while True:
+        name = tokens.next()
+        if not tokens.accept("="):
+            raise ParseError(f"expected '=' after range attribute {name!r}")
+        values = _parse_value_list(tokens)
+        if name in ranges:
+            raise ParseError(f"range attribute {name!r} given twice")
+        ranges[name] = values
+        if tokens.accept(","):
+            continue
+        if tokens.peek_keyword() == "and" and _next_is_range_attr(tokens):
+            tokens.next()  # consume AND, next attribute follows
+            continue
+        break
+
+    item_attributes: list[str] | None = None
+    tokens.accept("and")
+    if tokens.peek_keyword() == "item":
+        tokens.next(expect_keyword="item")
+        tokens.next(expect_keyword="attributes")
+        item_attributes = [tokens.next()]
+        while tokens.accept(","):
+            item_attributes.append(tokens.next())
+        tokens.accept("and")
+
+    tokens.next(expect_keyword="having")
+    thresholds: dict[str, float] = {}
+    for position in range(2):
+        key = tokens.next().lower()
+        if key not in ("minsupport", "minconfidence"):
+            raise ParseError(
+                f"expected minsupport/minconfidence in HAVING, got {key!r}"
+            )
+        if not tokens.accept("="):
+            raise ParseError(f"expected '=' after {key}")
+        raw = tokens.next()
+        try:
+            value = float(raw.rstrip("%")) / (100.0 if raw.endswith("%") else 1.0)
+        except ValueError:
+            raise ParseError(f"bad threshold value {raw!r} for {key}") from None
+        if key in thresholds:
+            raise ParseError(f"{key} given twice")
+        thresholds[key] = value
+        if position == 0:
+            tokens.next(expect_keyword="and")
+    tokens.accept(";")
+    if not tokens.at_end():
+        raise ParseError(f"unexpected token {tokens.peek()!r} after query end")
+
+    query = LocalizedQuery.from_labels(
+        schema,
+        ranges={name: values for name, values in ranges.items()},
+        minsupp=thresholds["minsupport"],
+        minconf=thresholds["minconfidence"],
+        item_attributes=item_attributes,
+    )
+    return ParsedQuery(dataset=dataset, query=query)
+
+
+def _parse_value_list(tokens: _Tokens) -> list[str]:
+    """Parse ``( v1, v2, ... )`` or ``{ v1, v2, ... }`` or a single value."""
+    closer = None
+    if tokens.accept("("):
+        closer = ")"
+    elif tokens.accept("{"):
+        closer = "}"
+    values = [tokens.next()]
+    while tokens.accept(","):
+        values.append(tokens.next())
+    if closer is not None and not tokens.accept(closer):
+        raise ParseError(f"expected {closer!r} to close value list")
+    return values
+
+
+def _next_is_range_attr(tokens: _Tokens) -> bool:
+    """Lookahead: after AND, does another ``attr = (...)`` follow?
+
+    Distinguishes ``AND Gender = (F)`` from ``AND ITEM ATTRIBUTES ...`` and
+    ``AND HAVING ...`` continuations.
+    """
+    i = tokens._i
+    if i + 2 >= len(tokens._tokens):
+        return False
+    nxt, nxt_quoted = tokens._tokens[i + 1]
+    eq, _ = tokens._tokens[i + 2]
+    if not nxt_quoted and nxt.lower() in ("item", "having"):
+        return False
+    return eq == "="

@@ -1,0 +1,135 @@
+"""Persistence of the offline artifacts: MIP-index and cost weights.
+
+POQM only pays off if the offline phase is done *once* — across process
+restarts, not just within one session.  This module serializes everything
+the online phase needs into a single ``.npz`` file:
+
+* the relational table (schema labels + the cell-index matrix),
+* the closed frequent itemsets (flattened (attribute, value) pairs),
+* the index construction parameters (primary support, fanout, packing),
+* optionally the calibrated cost weights.
+
+Tidsets, the R-tree and the statistics are *derived* state: they are
+recomputed deterministically on load (packing and statistics gathering are
+pure functions of the stored inputs), which keeps the file small and the
+format trivially forward-compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.costs import CostWeights
+from repro.core.mipindex import MIPIndex, build_mip_index
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import RelationalTable
+from repro.errors import DataError
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def save_index(
+    index: MIPIndex,
+    path: str | Path,
+    weights: CostWeights | None = None,
+) -> None:
+    """Write a MIP-index (and optional calibrated weights) to ``path``.
+
+    The file is a numpy ``.npz`` archive; ``path`` conventionally ends in
+    ``.colarm.npz`` but any name works.
+    """
+    path = Path(path)
+    schema = index.table.schema
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "primary_support": index.primary_support,
+        "max_entries": index.rtree.tree.max_entries,
+        "attributes": [
+            {"name": attr.name, "values": list(attr.values)}
+            for attr in schema.attributes
+        ],
+        "weights": dict(weights.weights) if weights is not None else None,
+    }
+    flat_items: list[int] = []
+    offsets = [0]
+    for mip in index.mips:
+        for item in mip.itemset:
+            flat_items.extend((item.attribute, item.value))
+        offsets.append(len(flat_items) // 2)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        data=index.table.data,
+        itemset_items=np.asarray(flat_items, dtype=np.int32).reshape(-1, 2),
+        itemset_offsets=np.asarray(offsets, dtype=np.int64),
+    )
+
+
+def load_index(path: str | Path) -> tuple[MIPIndex, CostWeights | None]:
+    """Load a MIP-index saved by :func:`save_index`.
+
+    Returns the index plus the calibrated weights (``None`` when the file
+    was saved without them).  Derived structures (tidsets, packed R-tree,
+    statistics) are rebuilt; the stored closed itemsets are verified to
+    match a fresh CHARM run so a stale or corrupted file cannot silently
+    produce wrong answers.
+    """
+    path = Path(path)
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise DataError(f"cannot read index file {path}: {exc}") from exc
+    try:
+        meta = json.loads(bytes(archive["meta"]).decode())
+        data = archive["data"]
+        items = archive["itemset_items"]
+        offsets = archive["itemset_offsets"]
+    except KeyError as exc:
+        raise DataError(f"{path}: missing field {exc} — not a COLARM index")
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise DataError(
+            f"{path}: unsupported format version {meta.get('format_version')}"
+        )
+    schema = Schema(
+        tuple(
+            Attribute(spec["name"], tuple(spec["values"]))
+            for spec in meta["attributes"]
+        )
+    )
+    table = RelationalTable(schema, data)
+    index = build_mip_index(
+        table,
+        primary_support=float(meta["primary_support"]),
+        max_entries=int(meta["max_entries"]),
+    )
+    _verify_itemsets(index, items, offsets, path)
+    weights = (
+        CostWeights(dict(meta["weights"])) if meta.get("weights") else None
+    )
+    return index, weights
+
+
+def _verify_itemsets(
+    index: MIPIndex, items: np.ndarray, offsets: np.ndarray, path: Path
+) -> None:
+    """Cross-check stored itemsets against the rebuilt index."""
+    stored = {
+        tuple(map(tuple, items[offsets[i]:offsets[i + 1]]))
+        for i in range(len(offsets) - 1)
+    }
+    rebuilt = {
+        tuple((it.attribute, it.value) for it in mip.itemset)
+        for mip in index.mips
+    }
+    if stored != rebuilt:
+        raise DataError(
+            f"{path}: stored itemsets disagree with the rebuilt index "
+            f"({len(stored)} stored vs {len(rebuilt)} rebuilt) — the file "
+            "does not match its own data"
+        )

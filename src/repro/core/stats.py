@@ -1,0 +1,206 @@
+"""Precomputed index statistics (the cost model's inputs).
+
+The offline preprocessing phase stores, next to the MIP-index itself, the
+aggregate statistics the COLARM optimizer needs to evaluate the six cost
+formulae in constant time at query time (Section 3.1): R-tree level
+profiles, the distribution of global support counts, the distribution of
+itemset lengths, and per-attribute fixing probabilities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mip import MIP
+from repro.rtree.node import Node
+from repro.rtree.rtree import LevelStat, RTree
+
+__all__ = ["LevelCountProfile", "IndexStatistics"]
+
+#: Rule-generation work per itemset is exponential in its length; the cost
+#: model caps the 2**length factor so one pathological itemset cannot swamp
+#: the estimate.
+_MAX_POW2_LENGTH = 16
+
+
+@dataclass(frozen=True)
+class LevelCountProfile:
+    """Sorted max-subtree-counts of one R-tree level.
+
+    Lets the optimizer compute, by binary search, the exact fraction of
+    level-``j`` nodes that survive the supported filter at any threshold.
+    """
+
+    level: int
+    sorted_max_counts: np.ndarray
+
+    def fraction_at_least(self, min_count: int) -> float:
+        n = len(self.sorted_max_counts)
+        if n == 0:
+            return 0.0
+        idx = int(np.searchsorted(self.sorted_max_counts, min_count, side="left"))
+        return (n - idx) / n
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Aggregates describing the dataset, the MIPs and the R-tree.
+
+    Beyond the scalar aggregates the paper's formulae use, three vectorized
+    profiles are precomputed so the optimizer's cardinality estimates can
+    be *data-aware* (a numpy pass over N MIPs, microseconds at query time):
+
+    * ``mip_global_counts[i]``  — global support count of MIP ``i``;
+    * ``mip_fixed_values[i, a]`` — the value MIP ``i`` fixes attribute ``a``
+      to, or ``-1`` when the attribute is free;
+    * ``item_local_counts[i, j]`` — ``|t(I_i) ∩ t(item_j)|``, the MIP's
+      support inside each single-item subset (columns indexed by
+      ``item_columns``) — the basis of the local-support upper bound used
+      to estimate ELIMINATE's output.
+    """
+
+    n_records: int
+    n_attributes: int
+    cardinalities: tuple[int, ...]
+    n_mips: int
+    avg_box_extents: tuple[float, ...]      # avg MIP box extent per dim, cells
+    level_stats: tuple[LevelStat, ...]       # R-tree level profile
+    level_counts: tuple[LevelCountProfile, ...]
+    sorted_global_counts: np.ndarray         # of all MIPs
+    length_histogram: dict[int, int]         # itemset length -> # MIPs
+    attr_fix_prob: tuple[float, ...]         # P(MIP fixes attribute d)
+    primary_support: float
+    mip_global_counts: np.ndarray            # (N,) int64, MIP order
+    mip_fixed_values: np.ndarray             # (N, n) int32, -1 = free
+    item_columns: dict[tuple[int, int], int]  # (attribute, value) -> column
+    item_local_counts: np.ndarray            # (N, n_items) int32
+
+    # -- derived scalars ----------------------------------------------------
+
+    @property
+    def avg_length(self) -> float:
+        total = sum(self.length_histogram.values())
+        if not total:
+            return 0.0
+        return sum(k * v for k, v in self.length_histogram.items()) / total
+
+    @property
+    def max_length(self) -> int:
+        return max(self.length_histogram, default=0)
+
+    @property
+    def avg_pow2_length(self) -> float:
+        """Average ``2**length`` over MIPs (rule-generation work factor)."""
+        total = sum(self.length_histogram.values())
+        if not total:
+            return 0.0
+        return (
+            sum((1 << min(k, _MAX_POW2_LENGTH)) * v
+                for k, v in self.length_histogram.items())
+            / total
+        )
+
+    @property
+    def tidset_words(self) -> int:
+        """64-bit words per tidset — the unit of one record-level AND."""
+        return max(1, -(-self.n_records // 64))
+
+    def fraction_with_count_at_least(self, min_count: int) -> float:
+        """Fraction of MIPs whose *global* count reaches ``min_count``."""
+        n = len(self.sorted_global_counts)
+        if n == 0:
+            return 0.0
+        idx = int(np.searchsorted(self.sorted_global_counts, min_count, side="left"))
+        return (n - idx) / n
+
+
+def gather_statistics(
+    mips: Sequence[MIP],
+    tree: RTree,
+    cardinalities: Sequence[int],
+    n_records: int,
+    primary_support: float,
+    item_tidsets: "dict | None" = None,
+) -> IndexStatistics:
+    """Collect all statistics in one offline pass over index and MIPs.
+
+    ``item_tidsets`` (item -> tidset, from the source table) enables the
+    per-item local-count profile; when omitted, that profile is empty and
+    the optimizer falls back to the distribution-based estimates.
+    """
+    cardinalities = tuple(cardinalities)
+    n_dims = len(cardinalities)
+
+    if mips:
+        sums = [0.0] * n_dims
+        fixes = [0] * n_dims
+        for mip in mips:
+            for d, extent in enumerate(mip.box.extents()):
+                sums[d] += extent
+            for d in mip.fixed_attributes:
+                fixes[d] += 1
+        avg_extents = tuple(s / len(mips) for s in sums)
+        fix_prob = tuple(f / len(mips) for f in fixes)
+    else:
+        avg_extents = tuple(float(c) for c in cardinalities)
+        fix_prob = tuple(0.0 for _ in cardinalities)
+
+    histogram: dict[int, int] = {}
+    for mip in mips:
+        histogram[mip.length] = histogram.get(mip.length, 0) + 1
+
+    fixed_values = np.full((len(mips), n_dims), -1, dtype=np.int32)
+    for i, mip in enumerate(mips):
+        for item in mip.itemset:
+            fixed_values[i, item.attribute] = item.value
+
+    item_columns: dict[tuple[int, int], int] = {}
+    if item_tidsets:
+        for j, item in enumerate(sorted(item_tidsets)):
+            item_columns[(item[0], item[1])] = j
+        local_counts = np.zeros((len(mips), len(item_columns)), dtype=np.int32)
+        for i, mip in enumerate(mips):
+            for item, mask in item_tidsets.items():
+                j = item_columns[(item[0], item[1])]
+                local_counts[i, j] = (mip.tidset & mask).bit_count()
+    else:
+        local_counts = np.zeros((len(mips), 0), dtype=np.int32)
+
+    return IndexStatistics(
+        n_records=n_records,
+        n_attributes=n_dims,
+        cardinalities=cardinalities,
+        n_mips=len(mips),
+        avg_box_extents=avg_extents,
+        level_stats=tuple(tree.level_stats()),
+        level_counts=tuple(_level_count_profiles(tree)),
+        sorted_global_counts=np.sort(
+            np.asarray([m.global_count for m in mips], dtype=np.int64)
+        ),
+        length_histogram=histogram,
+        attr_fix_prob=fix_prob,
+        primary_support=primary_support,
+        mip_global_counts=np.asarray(
+            [m.global_count for m in mips], dtype=np.int64
+        ),
+        mip_fixed_values=fixed_values,
+        item_columns=item_columns,
+        item_local_counts=local_counts,
+    )
+
+
+def _level_count_profiles(tree: RTree) -> list[LevelCountProfile]:
+    per_level: dict[int, list[int]] = {}
+    stack: list[Node] = [tree.root]
+    while stack:
+        node = stack.pop()
+        per_level.setdefault(node.level, []).append(node.max_count())
+        if not node.is_leaf:
+            stack.extend(e.child for e in node.entries)  # type: ignore[misc]
+    return [
+        LevelCountProfile(level, np.sort(np.asarray(counts, dtype=np.int64)))
+        for level, counts in sorted(per_level.items())
+    ]

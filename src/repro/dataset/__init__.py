@@ -1,0 +1,53 @@
+"""Relational data model, discretization, loaders and benchmark datasets."""
+
+from repro.dataset.discretize import (
+    apply_edges,
+    discretize_numeric,
+    equal_frequency_edges,
+    equal_width_edges,
+    interval_labels,
+)
+from repro.dataset.loaders import (
+    load_csv,
+    load_fimi,
+    save_csv,
+    save_fimi,
+    transactions_to_table,
+)
+from repro.dataset.salary import SALARY_RECORDS, salary_dataset
+from repro.dataset.schema import Attribute, Item, Schema
+from repro.dataset.synthetic import (
+    LocalPattern,
+    chess_like,
+    mushroom_like,
+    plant_local_pattern,
+    pumsb_like,
+    quest_like,
+)
+from repro.dataset.table import RelationalTable, from_labeled_records
+
+__all__ = [
+    "Attribute",
+    "Item",
+    "Schema",
+    "RelationalTable",
+    "from_labeled_records",
+    "equal_width_edges",
+    "equal_frequency_edges",
+    "apply_edges",
+    "interval_labels",
+    "discretize_numeric",
+    "load_csv",
+    "save_csv",
+    "load_fimi",
+    "save_fimi",
+    "transactions_to_table",
+    "salary_dataset",
+    "SALARY_RECORDS",
+    "LocalPattern",
+    "plant_local_pattern",
+    "chess_like",
+    "mushroom_like",
+    "pumsb_like",
+    "quest_like",
+]

@@ -1,0 +1,125 @@
+"""Discretization of quantitative columns into ordered cells.
+
+The paper treats discretization as an orthogonal offline step (footnote 3,
+citing Srikant & Agrawal): quantitative attributes are cut into disjoint
+intervals *before* the MIP-index is built, and online focal subsets must
+align with those cells.  This module provides the standard binning schemes
+plus helpers to turn raw numeric columns into :class:`~repro.dataset.schema.Attribute`
+definitions with interval labels such as ``20-30``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dataset.schema import Attribute
+from repro.errors import DataError
+
+__all__ = [
+    "equal_width_edges",
+    "equal_frequency_edges",
+    "apply_edges",
+    "interval_labels",
+    "discretize_numeric",
+]
+
+
+def equal_width_edges(values: Sequence[float], n_bins: int) -> np.ndarray:
+    """Bin edges splitting ``[min, max]`` into ``n_bins`` equal-width cells.
+
+    Returns ``n_bins + 1`` strictly increasing edges.
+    """
+    _check_bins(n_bins)
+    arr = _as_numeric(values)
+    lo, hi = float(arr.min()), float(arr.max())
+    if lo == hi:
+        # Degenerate column: widen artificially so edges stay distinct.
+        hi = lo + 1.0
+    return np.linspace(lo, hi, n_bins + 1)
+
+
+def equal_frequency_edges(values: Sequence[float], n_bins: int) -> np.ndarray:
+    """Quantile-based edges placing roughly equal record counts per cell.
+
+    Duplicate quantiles (heavy ties) are collapsed, so the result may have
+    fewer than ``n_bins`` cells; it always has at least one.
+    """
+    _check_bins(n_bins)
+    arr = _as_numeric(values)
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+    edges = np.unique(np.quantile(arr, quantiles))
+    if len(edges) < 2:
+        edges = np.array([float(edges[0]), float(edges[0]) + 1.0])
+    return edges
+
+
+def apply_edges(values: Sequence[float], edges: np.ndarray) -> np.ndarray:
+    """Map each value to its cell index under ``edges``.
+
+    Cells are half-open ``[e_i, e_{i+1})`` except the last, which is closed
+    so the maximum lands in the final cell.  Values outside the edge span
+    raise :class:`DataError` — discretization is supposed to be built from
+    the same data it is applied to.
+    """
+    arr = _as_numeric(values)
+    edges = np.asarray(edges, dtype=float)
+    if edges.ndim != 1 or len(edges) < 2:
+        raise DataError("edges must be a 1-D array of at least two values")
+    if np.any(np.diff(edges) <= 0):
+        raise DataError("edges must be strictly increasing")
+    if arr.size and (arr.min() < edges[0] or arr.max() > edges[-1]):
+        raise DataError(
+            f"values outside edge span [{edges[0]}, {edges[-1]}]: "
+            f"min={arr.min()}, max={arr.max()}"
+        )
+    idx = np.searchsorted(edges, arr, side="right") - 1
+    n_cells = len(edges) - 1
+    return np.clip(idx, 0, n_cells - 1).astype(np.int32)
+
+
+def interval_labels(edges: np.ndarray, fmt: str = "g") -> tuple[str, ...]:
+    """Render edges into cell labels like ``('20-30', '30-40', ...)``."""
+    edges = np.asarray(edges, dtype=float)
+    return tuple(
+        f"{edges[i]:{fmt}}-{edges[i + 1]:{fmt}}" for i in range(len(edges) - 1)
+    )
+
+
+def discretize_numeric(
+    name: str,
+    values: Sequence[float],
+    n_bins: int,
+    method: str = "width",
+) -> tuple[Attribute, np.ndarray]:
+    """Discretize one numeric column into an attribute plus cell indices.
+
+    ``method`` is ``"width"`` (equal-width) or ``"frequency"``
+    (equal-frequency).  Returns the :class:`Attribute` (with interval
+    labels) and the per-record cell indices.
+    """
+    if method == "width":
+        edges = equal_width_edges(values, n_bins)
+    elif method == "frequency":
+        edges = equal_frequency_edges(values, n_bins)
+    else:
+        raise DataError(f"unknown discretization method {method!r}")
+    codes = apply_edges(values, edges)
+    return Attribute(name, interval_labels(edges)), codes
+
+
+def _check_bins(n_bins: int) -> None:
+    if n_bins < 1:
+        raise DataError(f"n_bins must be >= 1, got {n_bins}")
+
+
+def _as_numeric(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise DataError("expected a 1-D column of numeric values")
+    if arr.size == 0:
+        raise DataError("cannot discretize an empty column")
+    if np.any(~np.isfinite(arr)):
+        raise DataError("column contains NaN or infinite values")
+    return arr

@@ -1,0 +1,154 @@
+"""File loaders: CSV relational tables and FIMI transactional files.
+
+The UCI benchmark datasets the paper uses (chess, mushroom, PUMSB) circulate
+in the FIMI repository's transactional format — one transaction per line,
+space-separated integer item ids.  COLARM itself works on relational tables,
+so this module also converts transactional data into the relational model
+when every transaction assigns exactly one item per attribute (true for
+chess and mushroom, whose items encode attribute=value pairs).
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import RelationalTable, from_labeled_records
+from repro.errors import DataError
+
+__all__ = [
+    "load_csv",
+    "save_csv",
+    "load_fimi",
+    "save_fimi",
+    "transactions_to_table",
+]
+
+
+def load_csv(path: str | Path, value_order: dict[str, Sequence[str]] | None = None
+             ) -> RelationalTable:
+    """Load a relational table from a header-ed CSV of value labels.
+
+    Every column becomes a categorical attribute whose domain is the set of
+    labels seen in that column.  ``value_order`` optionally fixes the cell
+    order for named columns (needed for quantitative attributes whose labels
+    must stay in increasing order, e.g. ``20-30`` before ``30-40``); other
+    columns get their labels in first-seen order.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path}: empty CSV") from None
+        rows = [row for row in reader if row]
+    if not rows:
+        raise DataError(f"{path}: CSV has a header but no records")
+    attributes = []
+    for col, name in enumerate(header):
+        seen: list[str] = []
+        for row in rows:
+            if row[col] not in seen:
+                seen.append(row[col])
+        if value_order and name in value_order:
+            ordered = list(value_order[name])
+            missing = set(seen) - set(ordered)
+            if missing:
+                raise DataError(
+                    f"{path}: column {name!r} has labels {sorted(missing)} "
+                    "absent from the supplied value_order"
+                )
+            seen = ordered
+        attributes.append(Attribute(name, tuple(seen)))
+    return from_labeled_records(attributes, rows)
+
+
+def save_csv(table: RelationalTable, path: str | Path) -> None:
+    """Write a table as a CSV of value labels (inverse of :func:`load_csv`)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.schema.names)
+        for tid in range(table.n_records):
+            labels = table.record_labels(tid)
+            writer.writerow([labels[name] for name in table.schema.names])
+
+
+def load_fimi(path: str | Path) -> list[tuple[int, ...]]:
+    """Load a FIMI ``.dat`` file: one transaction of integer items per line."""
+    path = Path(path)
+    transactions: list[tuple[int, ...]] = []
+    with path.open() as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                items = tuple(sorted({int(tok) for tok in line.split()}))
+            except ValueError:
+                raise DataError(f"{path}:{line_no}: non-integer item id") from None
+            transactions.append(items)
+    if not transactions:
+        raise DataError(f"{path}: no transactions")
+    return transactions
+
+
+def save_fimi(transactions: Sequence[Sequence[int]], path: str | Path) -> None:
+    """Write transactions in FIMI format (inverse of :func:`load_fimi`)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for txn in transactions:
+            fh.write(" ".join(str(i) for i in sorted(txn)) + "\n")
+
+
+def transactions_to_table(
+    transactions: Sequence[Sequence[int]],
+    attribute_of_item: dict[int, str],
+) -> RelationalTable:
+    """Convert attribute-encoded transactions into a relational table.
+
+    ``attribute_of_item`` maps each global item id to the attribute it
+    belongs to (as in chess/mushroom, where every record carries exactly one
+    item per attribute).  Raises :class:`DataError` if any transaction
+    misses an attribute or assigns it twice.
+    """
+    attr_names: list[str] = []
+    for item in sorted(attribute_of_item):
+        name = attribute_of_item[item]
+        if name not in attr_names:
+            attr_names.append(name)
+    items_per_attr: dict[str, list[int]] = {name: [] for name in attr_names}
+    for item in sorted(attribute_of_item):
+        items_per_attr[attribute_of_item[item]].append(item)
+    attributes = tuple(
+        Attribute(name, tuple(str(i) for i in items_per_attr[name]))
+        for name in attr_names
+    )
+    schema = Schema(attributes)
+    value_index = {
+        item: (attr_names.index(name), items_per_attr[name].index(item))
+        for item, name in attribute_of_item.items()
+    }
+
+    data = np.empty((len(transactions), len(attr_names)), dtype=np.int32)
+    for tid, txn in enumerate(transactions):
+        assigned = [False] * len(attr_names)
+        for item in txn:
+            if item not in value_index:
+                raise DataError(f"transaction {tid}: unmapped item id {item}")
+            ai, vi = value_index[item]
+            if assigned[ai]:
+                raise DataError(
+                    f"transaction {tid}: attribute {attr_names[ai]!r} assigned twice"
+                )
+            assigned[ai] = True
+            data[tid, ai] = vi
+        if not all(assigned):
+            missing = [attr_names[i] for i, ok in enumerate(assigned) if not ok]
+            raise DataError(f"transaction {tid}: missing attributes {missing}")
+    return RelationalTable(schema, data)

@@ -1,0 +1,54 @@
+"""The paper's running example: the Table 1 salary dataset.
+
+Eleven anonymized IT-employee records over six discretized attributes.
+The paper derives two rules from it:
+
+* global rule ``R_G = (Age=20-30 -> Salary=90K-120K)`` with support
+  5/11 (~45%) and confidence 5/6 (~83%);
+* localized rule ``R_L = (Age=30-40 -> Salary=90K-120K)`` for the focal
+  subset *female employees in Seattle* (the last four records) with
+  support 3/4 (75%) and confidence 3/3 (100%) — while ``R_G`` does not
+  hold in that subset (Simpson's paradox).
+
+``tests/test_salary_example.py`` asserts all four numbers.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.schema import Attribute
+from repro.dataset.table import RelationalTable, from_labeled_records
+
+__all__ = ["salary_dataset", "SALARY_RECORDS"]
+
+_ATTRIBUTES = (
+    Attribute("Company", ("IBM", "Google", "Microsoft", "Facebook")),
+    Attribute(
+        "Title",
+        ("QA Lead", "Sw Engg", "Engg Mgr", "Tech Arch", "QA Mgr", "QA Engg"),
+    ),
+    Attribute("Location", ("Boston", "SFO", "Seattle")),
+    Attribute("Gender", ("M", "F")),
+    # Quantitative attributes keep their cells in increasing order, matching
+    # the paper's A0/A1/A2 and S0..S3 interval numbering.
+    Attribute("Age", ("20-30", "30-40", "40-50")),
+    Attribute("Salary", ("30K-60K", "60K-90K", "90K-120K", "120K-150K")),
+)
+
+SALARY_RECORDS: tuple[tuple[str, ...], ...] = (
+    ("IBM", "QA Lead", "Boston", "M", "30-40", "60K-90K"),
+    ("IBM", "Sw Engg", "Boston", "F", "20-30", "90K-120K"),
+    ("IBM", "Engg Mgr", "SFO", "M", "20-30", "90K-120K"),
+    ("Google", "Sw Engg", "SFO", "F", "20-30", "90K-120K"),
+    ("Google", "Sw Engg", "Boston", "F", "20-30", "90K-120K"),
+    ("Google", "Sw Engg", "Boston", "M", "20-30", "90K-120K"),
+    ("Google", "Tech Arch", "Boston", "M", "40-50", "120K-150K"),
+    ("Microsoft", "Engg Mgr", "Seattle", "F", "30-40", "90K-120K"),
+    ("Microsoft", "Sw Engg", "Seattle", "F", "30-40", "90K-120K"),
+    ("Facebook", "QA Mgr", "Seattle", "F", "30-40", "90K-120K"),
+    ("Facebook", "QA Engg", "Seattle", "F", "20-30", "30K-60K"),
+)
+
+
+def salary_dataset() -> RelationalTable:
+    """Build the Table 1 salary dataset as a relational table."""
+    return from_labeled_records(_ATTRIBUTES, SALARY_RECORDS)

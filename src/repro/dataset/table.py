@@ -1,0 +1,209 @@
+"""The relational table COLARM mines over.
+
+A :class:`RelationalTable` couples a :class:`~repro.dataset.schema.Schema`
+with an ``m x n`` matrix of cell indices (record ``r``'s value for attribute
+``i`` is ``data[r, i]``).  It owns the per-item tidsets that every mining
+algorithm and every online operator in this library is built on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro import tidset as ts
+from repro.dataset.schema import Attribute, Item, Schema
+from repro.errors import DataError, SchemaError
+
+__all__ = ["RelationalTable", "from_labeled_records"]
+
+
+class RelationalTable:
+    """An immutable discretized relational dataset.
+
+    Parameters
+    ----------
+    schema:
+        Attribute definitions; column ``i`` of ``data`` is interpreted
+        against ``schema.attributes[i]``.
+    data:
+        Integer matrix of shape ``(n_records, n_attributes)`` whose entries
+        are value indices within each attribute's domain.
+    """
+
+    def __init__(self, schema: Schema, data: np.ndarray):
+        data = np.asarray(data)
+        if data.ndim != 2:
+            raise DataError(f"data must be 2-D, got shape {data.shape}")
+        if data.shape[1] != schema.n_attributes:
+            raise DataError(
+                f"data has {data.shape[1]} columns but schema has "
+                f"{schema.n_attributes} attributes"
+            )
+        if not np.issubdtype(data.dtype, np.integer):
+            raise DataError(f"data must be integer cell indices, got {data.dtype}")
+        cards = np.asarray(schema.cardinalities())
+        if data.size:
+            if data.min() < 0 or np.any(data.max(axis=0) >= cards):
+                raise DataError("cell index outside its attribute's domain")
+        self.schema = schema
+        self.data = np.ascontiguousarray(data, dtype=np.int32)
+        self.data.setflags(write=False)
+        self._item_tidsets: dict[Item, int] | None = None
+
+    # -- shape -----------------------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self.data.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationalTable({self.n_records} records x "
+            f"{self.n_attributes} attributes)"
+        )
+
+    # -- records and items -------------------------------------------------
+
+    def record(self, tid: int) -> tuple[Item, ...]:
+        """Record ``tid`` as a tuple of items, one per attribute."""
+        row = self.data[tid]
+        return tuple(Item(ai, int(v)) for ai, v in enumerate(row))
+
+    def record_labels(self, tid: int) -> dict[str, str]:
+        """Record ``tid`` as an ``{attribute_name: value_label}`` mapping."""
+        row = self.data[tid]
+        return {
+            attr.name: attr.values[int(v)]
+            for attr, v in zip(self.schema.attributes, row)
+        }
+
+    def item_tidsets(self) -> dict[Item, int]:
+        """Tidset for every item that occurs in the data (computed once).
+
+        Items that occur in no record are omitted; their tidset is empty.
+        """
+        if self._item_tidsets is None:
+            masks: dict[Item, int] = {}
+            for ai in range(self.n_attributes):
+                column = self.data[:, ai]
+                for vi in np.unique(column):
+                    tids = np.nonzero(column == vi)[0]
+                    masks[Item(ai, int(vi))] = ts.from_tids(int(t) for t in tids)
+            self._item_tidsets = masks
+        return self._item_tidsets
+
+    def item_tidset(self, item: Item) -> int:
+        """Tidset of one item (empty if the item never occurs)."""
+        return self.item_tidsets().get(item, ts.EMPTY)
+
+    def itemset_tidset(self, items: Iterable[Item]) -> int:
+        """Tidset of an itemset: intersection of its items' tidsets.
+
+        The empty itemset is supported by every record.
+        """
+        mask = ts.full(self.n_records)
+        for item in items:
+            mask &= self.item_tidset(item)
+            if not mask:
+                break
+        return mask
+
+    def support_count(self, items: Iterable[Item]) -> int:
+        """Number of records containing every item of ``items``."""
+        return ts.count(self.itemset_tidset(items))
+
+    def support(self, items: Iterable[Item]) -> float:
+        """Relative support of an itemset (0.0 on an empty table)."""
+        if self.n_records == 0:
+            return 0.0
+        return self.support_count(items) / self.n_records
+
+    # -- selections ---------------------------------------------------------
+
+    def tids_matching(self, selections: Mapping[int, frozenset[int] | set[int]]) -> int:
+        """Tidset of records matching per-attribute value-set selections.
+
+        ``selections`` maps attribute index to the set of admitted value
+        indices; attributes absent from the mapping admit their full domain.
+        This is the record-level semantics of the paper's ``Arange``.
+        """
+        mask = ts.full(self.n_records)
+        for ai, values in selections.items():
+            if not 0 <= ai < self.n_attributes:
+                raise SchemaError(f"attribute index {ai} out of range")
+            attr_mask = ts.EMPTY
+            for vi in values:
+                attr_mask |= self.item_tidset(Item(ai, vi))
+            mask &= attr_mask
+            if not mask:
+                break
+        return mask
+
+    def subset(self, tids: int) -> "RelationalTable":
+        """A new table holding only the records in tidset ``tids``.
+
+        Used by the ARM plan, which runs a miner from scratch on the
+        extracted focal subset.
+        """
+        rows = ts.to_list(tids)
+        return RelationalTable(self.schema, self.data[rows, :])
+
+    def project(self, attribute_indices: Sequence[int]) -> "RelationalTable":
+        """A new table keeping only the given attributes, in the given order."""
+        attrs = tuple(self.schema.attributes[i] for i in attribute_indices)
+        return RelationalTable(Schema(attrs), self.data[:, list(attribute_indices)])
+
+    # -- transactional view --------------------------------------------------
+
+    def to_transactions(self) -> list[tuple[int, ...]]:
+        """Records as transactions of globally numbered items.
+
+        Item ``(a, v)`` becomes integer ``offset[a] + v`` where offsets
+        accumulate attribute cardinalities — the encoding used by FIMI-style
+        transactional files.
+        """
+        offsets = self.item_offsets()
+        return [
+            tuple(int(offsets[ai] + v) for ai, v in enumerate(row))
+            for row in self.data
+        ]
+
+    def item_offsets(self) -> tuple[int, ...]:
+        """Global-id offset of each attribute in the transactional encoding."""
+        offsets = [0]
+        for attr in self.schema.attributes[:-1]:
+            offsets.append(offsets[-1] + attr.cardinality)
+        return tuple(offsets)
+
+
+def from_labeled_records(
+    attributes: Sequence[Attribute], records: Iterable[Sequence[str]]
+) -> RelationalTable:
+    """Build a table from rows of value *labels* (strings).
+
+    Convenience constructor used by the bundled example datasets and the
+    CSV loader: each row must supply one label per attribute.
+    """
+    schema = Schema(tuple(attributes))
+    rows = []
+    for rec_no, record in enumerate(records):
+        record = list(record)
+        if len(record) != schema.n_attributes:
+            raise DataError(
+                f"record {rec_no} has {len(record)} fields, "
+                f"expected {schema.n_attributes}"
+            )
+        rows.append(
+            [schema.attributes[i].value_index(label) for i, label in enumerate(record)]
+        )
+    data = np.asarray(rows, dtype=np.int32).reshape(len(rows), schema.n_attributes)
+    return RelationalTable(schema, data)

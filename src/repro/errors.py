@@ -1,0 +1,34 @@
+"""Exception hierarchy for the COLARM reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing schema problems from query problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or a value outside an attribute's domain."""
+
+
+class DataError(ReproError):
+    """Malformed input data (bad shapes, unparsable files, ...)."""
+
+
+class QueryError(ReproError):
+    """An invalid localized mining query (unknown attribute, bad threshold,
+    selections that do not align with the discretized cells, ...)."""
+
+
+class IndexError_(ReproError):
+    """An inconsistency detected inside the MIP-index or the R-tree."""
+
+
+class ParseError(QueryError):
+    """The textual ``REPORT LOCALIZED ASSOCIATION RULES`` query could not be
+    parsed."""

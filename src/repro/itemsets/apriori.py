@@ -1,0 +1,116 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+
+Level-wise candidate generation with downward-closure pruning.  Support
+counting uses the vertical (tidset) representation shared by the whole
+library rather than repeated horizontal scans; the candidate-generation
+logic is the classic join-and-prune.
+
+Used as a correctness oracle for Eclat/CHARM in the tests and as one of the
+miners the ARM plan can run from scratch on a focal subset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro import tidset as ts
+from repro.dataset.schema import Item
+from repro.errors import DataError
+from repro.itemsets.itemset import Itemset
+
+__all__ = ["FrequentItemset", "min_count_for", "apriori"]
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """A frequent itemset with its tidset and absolute support count."""
+
+    items: Itemset
+    tidset: int
+
+    @property
+    def support_count(self) -> int:
+        return ts.count(self.tidset)
+
+    def support(self, n_records: int) -> float:
+        return self.support_count / n_records if n_records else 0.0
+
+
+def min_count_for(minsupp: float, n_records: int) -> int:
+    """Absolute support count threshold for a relative ``minsupp``.
+
+    An itemset is frequent iff its count is at least
+    ``ceil(minsupp * n_records)`` (and at least 1 — empty support never
+    counts as frequent).
+    """
+    if not 0.0 <= minsupp <= 1.0:
+        raise DataError(f"minsupp must be in [0, 1], got {minsupp}")
+    exact = minsupp * n_records
+    threshold = int(exact)
+    if threshold < exact:
+        threshold += 1
+    return max(threshold, 1)
+
+
+def apriori(
+    item_tidsets: Mapping[Item, int],
+    n_records: int,
+    minsupp: float,
+    max_length: int | None = None,
+) -> list[FrequentItemset]:
+    """Mine all frequent itemsets at relative support ``minsupp``.
+
+    ``item_tidsets`` maps every singleton item to its tidset (as produced by
+    :meth:`RelationalTable.item_tidsets`).  Returns itemsets of length >= 1
+    sorted by (length, items).  ``max_length`` optionally caps the itemset
+    length explored.
+    """
+    min_count = min_count_for(minsupp, n_records)
+    frequent: list[FrequentItemset] = []
+
+    level: dict[Itemset, int] = {
+        (item,): mask
+        for item, mask in sorted(item_tidsets.items())
+        if ts.count(mask) >= min_count
+    }
+    k = 1
+    while level:
+        frequent.extend(
+            FrequentItemset(items, mask) for items, mask in sorted(level.items())
+        )
+        if max_length is not None and k >= max_length:
+            break
+        level = _next_level(level, min_count)
+        k += 1
+    return frequent
+
+
+def _next_level(level: dict[Itemset, int], min_count: int) -> dict[Itemset, int]:
+    """Join k-itemsets sharing a (k-1)-prefix, prune, and count."""
+    candidates: dict[Itemset, int] = {}
+    keys = sorted(level)
+    prev = set(keys)
+    for i, left in enumerate(keys):
+        for right in keys[i + 1:]:
+            if left[:-1] != right[:-1]:
+                break  # keys are sorted, so prefixes only diverge onward
+            last_left, last_right = left[-1], right[-1]
+            if last_left.attribute == last_right.attribute:
+                continue  # one value per attribute in the relational model
+            candidate = left + (last_right,)
+            if not _all_subsets_frequent(candidate, prev):
+                continue
+            mask = ts.intersect(level[left], level[right])
+            if ts.count(mask) >= min_count:
+                candidates[candidate] = mask
+    return candidates
+
+
+def _all_subsets_frequent(candidate: Itemset, prev: set[Itemset]) -> bool:
+    """Downward-closure prune: every (k-1)-subset must be frequent."""
+    for drop in range(len(candidate) - 2):  # last two came from frequent parents
+        subset = candidate[:drop] + candidate[drop + 1:]
+        if subset not in prev:
+            return False
+    return True

@@ -1,0 +1,144 @@
+"""CHARM closed frequent itemset mining (Zaki & Hsiao, SDM 2002).
+
+CHARM explores itemset-tidset (IT) pairs depth-first and applies four
+tidset-relation properties to jump directly between closed sets:
+
+1. ``t(Xi) == t(Xj)`` — Xj is fused into Xi (same closure), Xj removed;
+2. ``t(Xi) ⊂ t(Xj)``  — Xi is extended by Xj (Xi's closure contains Xj),
+   Xj kept for its own branch;
+3. ``t(Xi) ⊃ t(Xj)``  — ``Xi ∪ Xj`` (tidset ``t(Xj)``) becomes a child of
+   Xi, Xj removed from the current level;
+4. otherwise           — ``Xi ∪ Xj`` becomes a child of Xi if frequent.
+
+A hash on tidsets provides the subsumption check that keeps only closed
+sets.  This is the offline miner that populates the MIP-index (Section 3.2
+of the COLARM paper) and the miner the ARM plan runs on focal subsets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro import tidset as ts
+from repro.dataset.schema import Item
+from repro.itemsets.apriori import min_count_for
+from repro.itemsets.itemset import Itemset, make_itemset
+
+__all__ = ["ClosedItemset", "charm"]
+
+
+@dataclass(frozen=True)
+class ClosedItemset:
+    """A closed frequent itemset with its exact tidset."""
+
+    items: Itemset
+    tidset: int
+
+    @property
+    def support_count(self) -> int:
+        return ts.count(self.tidset)
+
+    def support(self, n_records: int) -> float:
+        return self.support_count / n_records if n_records else 0.0
+
+    @property
+    def length(self) -> int:
+        """Number of singleton items (the paper's ``C_I``, Lemma 4.3)."""
+        return len(self.items)
+
+
+@dataclass
+class _Node:
+    """A mutable IT-pair during the search; ``items`` grows via properties 1-2."""
+
+    items: set[Item]
+    tidset: int
+    children: list["_Node"] = field(default_factory=list)
+    removed: bool = False
+
+
+def charm(
+    item_tidsets: Mapping[Item, int],
+    n_records: int,
+    minsupp: float,
+) -> list[ClosedItemset]:
+    """Mine all closed frequent itemsets at relative support ``minsupp``.
+
+    Returns closed itemsets sorted by (length, items).  The result is
+    exactly the set of closure-distinct tidsets among frequent itemsets:
+    for every frequent itemset X there is exactly one returned set with
+    tidset ``t(X)`` that contains X (its closure).
+    """
+    min_count = min_count_for(minsupp, n_records)
+    roots = [
+        _Node({item}, mask)
+        for item, mask in sorted(item_tidsets.items())
+        if ts.count(mask) >= min_count
+    ]
+    closed_by_tidset: dict[int, set[Item]] = {}
+    _charm_extend(roots, min_count, closed_by_tidset)
+    result = [
+        ClosedItemset(make_itemset(items), mask)
+        for mask, items in closed_by_tidset.items()
+    ]
+    result.sort(key=lambda c: (c.length, c.items))
+    return result
+
+
+def _charm_extend(
+    nodes: list[_Node], min_count: int, closed: dict[int, set[Item]]
+) -> None:
+    # Zaki & Hsiao process classes in increasing support order so that the
+    # subset-tidset properties (1 and 2) fire as often as possible.
+    nodes.sort(key=lambda n: ts.count(n.tidset))
+    for i, node in enumerate(nodes):
+        if node.removed:
+            continue
+        for other in nodes[i + 1:]:
+            if other.removed:
+                continue
+            ti, tj = node.tidset, other.tidset
+            tij = ti & tj
+            if tij == ti and tij == tj:  # property 1: equal tidsets
+                node.items |= other.items
+                _absorb_into_children(node, other.items)
+                other.removed = True
+            elif tij == ti:  # property 2: t(Xi) subset of t(Xj)
+                node.items |= other.items
+                _absorb_into_children(node, other.items)
+            elif tij == tj:  # property 3: t(Xi) superset of t(Xj)
+                node.children.append(_Node(node.items | other.items, tj))
+                other.removed = True
+            elif ts.count(tij) >= min_count:  # property 4: new child if frequent
+                node.children.append(_Node(node.items | other.items, tij))
+        if node.children:
+            # Children were created before later property-1/2 extensions of
+            # this node, so refresh them with the final item set.
+            _absorb_into_children(node, node.items)
+            _charm_extend(node.children, min_count, closed)
+        _record_closed(node, closed)
+
+
+def _absorb_into_children(node: _Node, items: set[Item]) -> None:
+    """Propagate a property-1/2 extension of ``node`` into its subtree.
+
+    Any child's tidset is a subset of the node's, so the extending items
+    (whose tidset covers the node's) belong to every child's closure too.
+    """
+    for child in node.children:
+        child.items |= items
+        _absorb_into_children(child, items)
+
+
+def _record_closed(node: _Node, closed: dict[int, set[Item]]) -> None:
+    """Keep ``node`` unless an itemset with the same tidset already covers it.
+
+    Two itemsets with equal tidsets share a closure, so per tidset only the
+    largest item set survives (union-compatible by construction).
+    """
+    existing = closed.get(node.tidset)
+    if existing is None:
+        closed[node.tidset] = set(node.items)
+    else:
+        existing |= node.items

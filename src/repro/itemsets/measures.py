@@ -1,0 +1,136 @@
+"""Rule interestingness measures (Wu, Chen & Han, PKDD 2007).
+
+The paper motivates verifying confidence online by "the importance of
+null-invariant measures" [23].  This module provides the standard suite —
+including the null-invariant ones (cosine, Kulczynski, max-confidence,
+all-confidence, Jaccard) and the classic non-null-invariant ones (lift,
+leverage, conviction) — computed from the four counts that fully determine
+a rule's contingency table: universe size ``n``, itemset count ``n_xy``,
+antecedent count ``n_x`` and consequent count ``n_y``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import DataError
+
+__all__ = [
+    "RuleStats",
+    "lift",
+    "leverage",
+    "conviction",
+    "cosine",
+    "kulczynski",
+    "max_confidence",
+    "all_confidence",
+    "jaccard",
+    "imbalance_ratio",
+    "evaluate_all",
+]
+
+
+@dataclass(frozen=True)
+class RuleStats:
+    """Contingency counts of a rule ``X => Y`` in a universe of ``n`` records."""
+
+    n: int
+    n_xy: int
+    n_x: int
+    n_y: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n_xy <= min(self.n_x, self.n_y):
+            raise DataError(
+                f"inconsistent counts: n_xy={self.n_xy}, n_x={self.n_x}, n_y={self.n_y}"
+            )
+        if max(self.n_x, self.n_y) > self.n:
+            raise DataError(f"marginals exceed universe size n={self.n}")
+        if self.n <= 0:
+            raise DataError("universe must be non-empty")
+
+    @property
+    def support(self) -> float:
+        return self.n_xy / self.n
+
+    @property
+    def confidence(self) -> float:
+        return self.n_xy / self.n_x if self.n_x else 0.0
+
+
+def lift(s: RuleStats) -> float:
+    """``P(XY) / (P(X) P(Y))``; 1.0 means independence.  Not null-invariant."""
+    if s.n_x == 0 or s.n_y == 0:
+        return 0.0
+    return (s.n_xy * s.n) / (s.n_x * s.n_y)
+
+
+def leverage(s: RuleStats) -> float:
+    """``P(XY) - P(X) P(Y)`` (Piatetsky-Shapiro).  Not null-invariant."""
+    return s.n_xy / s.n - (s.n_x / s.n) * (s.n_y / s.n)
+
+
+def conviction(s: RuleStats) -> float:
+    """``P(X) P(not Y) / P(X and not Y)``; ``inf`` for exact implications."""
+    p_not_y = 1.0 - s.n_y / s.n
+    p_x_not_y = (s.n_x - s.n_xy) / s.n
+    if p_x_not_y == 0.0:
+        return math.inf
+    return (s.n_x / s.n) * p_not_y / p_x_not_y
+
+
+def cosine(s: RuleStats) -> float:
+    """``P(XY) / sqrt(P(X) P(Y))`` — null-invariant."""
+    if s.n_x == 0 or s.n_y == 0:
+        return 0.0
+    return s.n_xy / math.sqrt(s.n_x * s.n_y)
+
+
+def kulczynski(s: RuleStats) -> float:
+    """Mean of the two conditional probabilities — null-invariant."""
+    if s.n_x == 0 or s.n_y == 0:
+        return 0.0
+    return 0.5 * (s.n_xy / s.n_x + s.n_xy / s.n_y)
+
+
+def max_confidence(s: RuleStats) -> float:
+    """``max(P(Y|X), P(X|Y))`` — null-invariant."""
+    if s.n_x == 0 or s.n_y == 0:
+        return 0.0
+    return max(s.n_xy / s.n_x, s.n_xy / s.n_y)
+
+
+def all_confidence(s: RuleStats) -> float:
+    """``min(P(Y|X), P(X|Y)) = P(XY) / max(P(X), P(Y))`` — null-invariant."""
+    denom = max(s.n_x, s.n_y)
+    return s.n_xy / denom if denom else 0.0
+
+
+def jaccard(s: RuleStats) -> float:
+    """``P(XY) / P(X or Y)`` — null-invariant."""
+    denom = s.n_x + s.n_y - s.n_xy
+    return s.n_xy / denom if denom else 0.0
+
+
+def imbalance_ratio(s: RuleStats) -> float:
+    """``|P(X) - P(Y)| / P(X or Y)`` — how skewed the two directions are."""
+    denom = s.n_x + s.n_y - s.n_xy
+    return abs(s.n_x - s.n_y) / denom if denom else 0.0
+
+
+def evaluate_all(s: RuleStats) -> dict[str, float]:
+    """All measures keyed by name, for reporting."""
+    return {
+        "support": s.support,
+        "confidence": s.confidence,
+        "lift": lift(s),
+        "leverage": leverage(s),
+        "conviction": conviction(s),
+        "cosine": cosine(s),
+        "kulczynski": kulczynski(s),
+        "max_confidence": max_confidence(s),
+        "all_confidence": all_confidence(s),
+        "jaccard": jaccard(s),
+        "imbalance_ratio": imbalance_ratio(s),
+    }

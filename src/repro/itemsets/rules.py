@@ -1,0 +1,154 @@
+"""Association-rule generation with confidence pruning.
+
+Rules are generated from itemsets by the classic Agrawal-Srikant consequent
+growth: for an itemset ``I``, confidence of ``X => I\\X`` only drops as the
+antecedent ``X`` shrinks (its support grows), so once a consequent fails
+``minconf`` all of its supersets can be pruned.
+
+Support lookups are abstracted behind a ``support_fn`` so the same generator
+serves both the global case (counts over the whole dataset) and COLARM's
+localized case (counts intersected with the focal subset) — the VERIFY
+operator is this module parameterized by local counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.dataset.schema import Schema
+from repro.errors import DataError
+from repro.itemsets.itemset import Itemset, make_itemset
+
+__all__ = ["Rule", "generate_rules", "rules_from_itemsets"]
+
+#: Returns the support count of an itemset within the current universe, or
+#: ``None`` when the count is unavailable (below the index's primary floor).
+SupportFn = Callable[[Itemset], "int | None"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule ``antecedent => consequent`` with its stats.
+
+    ``support`` and ``confidence`` are relative to the universe the rule was
+    mined in — the full dataset for global rules, the focal subset ``D^Q``
+    for localized rules (the paper's ``Supp^Q`` and ``Conf^Q``).
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support_count: int
+    support: float
+    confidence: float
+
+    @property
+    def items(self) -> Itemset:
+        """The underlying itemset ``antecedent ∪ consequent``."""
+        return make_itemset((*self.antecedent, *self.consequent))
+
+    def render(self, schema: Schema) -> str:
+        """Human-readable form, e.g. ``{Age=20-30} => {Salary=90K-120K}``."""
+        return (
+            f"{schema.render_itemset(self.antecedent)} => "
+            f"{schema.render_itemset(self.consequent)} "
+            f"(supp={self.support:.3f}, conf={self.confidence:.3f})"
+        )
+
+
+def generate_rules(
+    itemset: Itemset,
+    support_fn: SupportFn,
+    universe_count: int,
+    minconf: float,
+) -> list[Rule]:
+    """All rules from one itemset whose confidence reaches ``minconf``.
+
+    The itemset's own support is obtained through ``support_fn``; when it or
+    an antecedent's support is unreported (``None``) the corresponding rules
+    are skipped — the caller guarantees candidates sit above the primary
+    floor, so this only happens for deliberately truncated indexes.
+    """
+    if not 0.0 <= minconf <= 1.0:
+        raise DataError(f"minconf must be in [0, 1], got {minconf}")
+    if len(itemset) < 2:
+        return []
+    itemset_count = support_fn(itemset)
+    if itemset_count is None or itemset_count == 0:
+        return []
+    support = itemset_count / universe_count if universe_count else 0.0
+
+    rules: list[Rule] = []
+    # Consequent growth: level k holds consequents of size k that passed.
+    consequents: list[Itemset] = [(item,) for item in itemset]
+    while consequents:
+        passed: list[Itemset] = []
+        for consequent in consequents:
+            antecedent = tuple(i for i in itemset if i not in set(consequent))
+            if not antecedent:
+                continue
+            antecedent_count = support_fn(antecedent)
+            if antecedent_count is None or antecedent_count == 0:
+                continue
+            confidence = itemset_count / antecedent_count
+            if confidence >= minconf:
+                rules.append(
+                    Rule(antecedent, consequent, itemset_count, support, confidence)
+                )
+                passed.append(consequent)
+        consequents = _grow_consequents(passed)
+    rules.sort(key=lambda r: (r.antecedent, r.consequent))
+    return rules
+
+
+def _grow_consequents(passed: Sequence[Itemset]) -> list[Itemset]:
+    """Join passing size-k consequents sharing a (k-1)-prefix into size k+1.
+
+    Mirrors Apriori candidate generation: a consequent of size k+1 can only
+    pass if all its size-k subsets did, and joining sorted same-prefix pairs
+    enumerates each candidate exactly once.
+    """
+    passed_set = set(passed)
+    grown: list[Itemset] = []
+    ordered = sorted(passed)
+    for i, left in enumerate(ordered):
+        for right in ordered[i + 1:]:
+            if left[:-1] != right[:-1]:
+                break
+            candidate = left + (right[-1],)
+            if all(
+                candidate[:k] + candidate[k + 1:] in passed_set
+                for k in range(len(candidate) - 2)
+            ):
+                grown.append(candidate)
+    return grown
+
+
+def rules_from_itemsets(
+    itemsets: Iterable[Itemset],
+    support_fn: SupportFn,
+    universe_count: int,
+    minsupp: float,
+    minconf: float,
+) -> list[Rule]:
+    """Rules from many itemsets, filtering itemsets below ``minsupp`` first.
+
+    Deduplicates rules that arise from several source itemsets (e.g. when a
+    candidate list contains both an itemset and its superset).
+    """
+    from repro.itemsets.apriori import min_count_for
+
+    min_count = min_count_for(minsupp, universe_count) if universe_count else 1
+    seen: set[tuple[Itemset, Itemset]] = set()
+    out: list[Rule] = []
+    for itemset in itemsets:
+        count_ = support_fn(itemset)
+        if count_ is None or count_ < min_count:
+            continue
+        for rule in generate_rules(itemset, support_fn, universe_count, minconf):
+            key = (rule.antecedent, rule.consequent)
+            if key not in seen:
+                seen.add(key)
+                out.append(rule)
+    out.sort(key=lambda r: (r.antecedent, r.consequent))
+    return out

@@ -1,0 +1,52 @@
+"""R-tree nodes and entries.
+
+A node at ``level == 0`` is a leaf whose entries carry payloads; higher
+levels carry child nodes.  Every entry also stores a ``count`` — unused by
+the plain R-tree but aggregated bottom-up (as ``max_count``) by the
+supported R-tree of Section 4.3, so one node type serves both structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import IndexError_
+from repro.rtree.geometry import Rect, mbr_of
+
+__all__ = ["Entry", "Node"]
+
+
+@dataclass
+class Entry:
+    """One slot of a node: a box plus either a payload (leaf) or a child."""
+
+    rect: Rect
+    payload: Any = None
+    child: Optional["Node"] = None
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.payload is None) == (self.child is None):
+            raise IndexError_("entry must carry exactly one of payload/child")
+
+
+@dataclass
+class Node:
+    """A node of the R-tree; ``level == 0`` marks leaves."""
+
+    level: int
+    entries: list[Entry] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        if not self.entries:
+            raise IndexError_("empty node has no MBR")
+        return mbr_of(e.rect for e in self.entries)
+
+    def max_count(self) -> int:
+        """Largest entry count in this node (0 when empty)."""
+        return max((e.count for e in self.entries), default=0)

@@ -1,0 +1,177 @@
+"""R*-tree insertion (Beckmann, Kriegel, Schneider & Seeger, SIGMOD 1990).
+
+The R*-tree improves Guttman's R-tree with three insertion-time heuristics:
+
+* **ChooseSubtree** — at the level above the leaves, pick the child whose
+  *overlap* with its siblings grows least (ties by area enlargement, then
+  area); higher up, least area enlargement as before;
+* **Split** — pick the split *axis* minimizing the total margin of the
+  candidate distributions, then the *distribution* minimizing overlap
+  (ties by combined area);
+* **Forced reinsertion** — on the first overflow at each level per
+  insertion, re-insert the 30% of entries farthest from the node's center
+  instead of splitting, which lets entries migrate to better nodes.
+
+Search, deletion and the supported filter are inherited unchanged from
+:class:`~repro.rtree.rtree.RTree`, so an ``RStarTree`` can back the
+MIP-index anywhere a plain R-tree can.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.rtree.geometry import Rect, mbr_of
+from repro.rtree.node import Entry, Node
+from repro.rtree.rtree import DEFAULT_MAX_ENTRIES, RTree
+
+__all__ = ["RStarTree"]
+
+#: Fraction of entries evicted by forced reinsertion (the paper's p = 30%).
+_REINSERT_FRACTION = 0.3
+
+
+class RStarTree(RTree):
+    """Dynamic n-dimensional R*-tree."""
+
+    def __init__(
+        self,
+        n_dims: int,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: int | None = None,
+    ):
+        super().__init__(n_dims, max_entries, min_entries)
+        self._reinserted_levels: set[int] = set()
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, rect: Rect, payload: Any, count: int = 0) -> None:
+        # Forced reinsertion fires at most once per level per top-level
+        # insertion (the paper's OverflowTreatment bookkeeping).
+        self._reinserted_levels = set()
+        super().insert(rect, payload, count)
+
+    def _insert_entry(self, node: Node, entry: Entry, target_level: int
+                      ) -> Node | None:
+        if node.level == target_level:
+            node.entries.append(entry)
+        else:
+            slot = self._choose_subtree(node, entry.rect)
+            split_child = self._insert_entry(slot.child, entry, target_level)
+            slot.rect = slot.child.mbr()
+            slot.count = slot.child.max_count()
+            if split_child is not None:
+                node.entries.append(
+                    Entry(
+                        rect=split_child.mbr(),
+                        child=split_child,
+                        count=split_child.max_count(),
+                    )
+                )
+        if len(node.entries) > self.max_entries:
+            return self._overflow(node)
+        return None
+
+    def _overflow(self, node: Node) -> Node | None:
+        """OverflowTreatment: reinsert once per level, then split."""
+        is_root = node is self._root
+        if not is_root and node.level not in self._reinserted_levels:
+            self._reinserted_levels.add(node.level)
+            self._forced_reinsert(node)
+            return None
+        return self._split(node)
+
+    def _forced_reinsert(self, node: Node) -> None:
+        """Evict the entries farthest from the node center and re-add them."""
+        center = node.mbr().center()
+
+        def distance(entry: Entry) -> float:
+            ec = entry.rect.center()
+            return sum((a - b) ** 2 for a, b in zip(ec, center))
+
+        node.entries.sort(key=distance)
+        n_evict = max(1, int(round(len(node.entries) * _REINSERT_FRACTION)))
+        evicted = node.entries[len(node.entries) - n_evict:]
+        del node.entries[len(node.entries) - n_evict:]
+        for entry in evicted:
+            # Re-insert at the same level ("close reinsert", far-first).
+            split = super()._insert_entry(self._root, entry, node.level)
+            if split is not None:
+                self._grow_root(split)
+
+    # -- ChooseSubtree --------------------------------------------------------
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> Entry:
+        if node.level == 1:
+            # Children are leaves: minimize overlap enlargement.
+            return min(
+                node.entries,
+                key=lambda e: (
+                    self._overlap_enlargement(node, e, rect),
+                    e.rect.enlargement(rect),
+                    e.rect.area(),
+                ),
+            )
+        return min(
+            node.entries,
+            key=lambda e: (e.rect.enlargement(rect), e.rect.area()),
+        )
+
+    @staticmethod
+    def _overlap_enlargement(node: Node, candidate: Entry, rect: Rect) -> int:
+        """Growth of the candidate's overlap with its siblings if it takes
+        ``rect``."""
+        enlarged = candidate.rect.union(rect)
+
+        def overlap(box: Rect) -> int:
+            total = 0
+            for sibling in node.entries:
+                if sibling is candidate:
+                    continue
+                intersection = box.intersection(sibling.rect)
+                if intersection is not None:
+                    total += intersection.area()
+            return total
+
+        return overlap(enlarged) - overlap(candidate.rect)
+
+    # -- Split ------------------------------------------------------------------
+
+    def _split(self, node: Node) -> Node:
+        entries = node.entries
+        m = self.min_entries
+        best: tuple[int, int, bool, list[Entry], list[Entry]] | None = None
+        best_axis: int | None = None
+
+        for axis in range(self.n_dims):
+            axis_margin = 0
+            axis_best: tuple[int, int, list[Entry], list[Entry]] | None = None
+            for by_upper in (False, True):
+                ordered = sorted(
+                    entries,
+                    key=lambda e: (
+                        e.rect.highs[axis] if by_upper else e.rect.lows[axis],
+                        e.rect.highs[axis],
+                    ),
+                )
+                for k in range(m, len(ordered) - m + 1):
+                    left, right = ordered[:k], ordered[k:]
+                    box_l = mbr_of(e.rect for e in left)
+                    box_r = mbr_of(e.rect for e in right)
+                    axis_margin += box_l.margin() + box_r.margin()
+                    intersection = box_l.intersection(box_r)
+                    overlap = intersection.area() if intersection else 0
+                    area = box_l.area() + box_r.area()
+                    key = (overlap, area)
+                    if axis_best is None or key < axis_best[:2]:
+                        axis_best = (overlap, area, left, right)
+            if best_axis is None or axis_margin < best_axis:
+                best_axis = axis_margin
+                assert axis_best is not None
+                best = (axis_best[0], axis_best[1], True, axis_best[2],
+                        axis_best[3])
+
+        assert best is not None
+        _, _, _, left, right = best
+        node.entries = list(left)
+        return Node(level=node.level, entries=list(right))

@@ -1,0 +1,325 @@
+"""A dynamic R-tree (Guttman, SIGMOD 1984) with quadratic split.
+
+Supports insertion, deletion and window (range) search over
+:class:`~repro.rtree.geometry.Rect` boxes.  Every search reports the number
+of nodes visited — the unit the COLARM cost model prices (the paper's
+"expected disk accesses" [21]) — and entry counts are aggregated bottom-up
+as subtree maxima so the supported R-tree filter of Section 4.3 can prune
+whole subtrees against a support threshold.
+
+Bulk-loaded (packed) trees are built by :mod:`repro.rtree.packing` and share
+this class's search machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import IndexError_
+from repro.rtree.geometry import Rect
+from repro.rtree.node import Entry, Node
+
+__all__ = ["RTree", "SearchResult", "LevelStat"]
+
+DEFAULT_MAX_ENTRIES = 8
+
+
+@dataclass
+class SearchResult:
+    """Entries matched by a window query plus the node accesses it cost."""
+
+    entries: list[Entry]
+    nodes_visited: int
+
+
+@dataclass(frozen=True)
+class LevelStat:
+    """Aggregate statistics of one tree level, consumed by the cost model."""
+
+    level: int
+    n_nodes: int
+    avg_extents: tuple[float, ...]  # average MBR extent per dimension, in cells
+
+
+class RTree:
+    """Dynamic n-dimensional R-tree over integer cell boxes."""
+
+    def __init__(
+        self,
+        n_dims: int,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: int | None = None,
+    ):
+        if n_dims < 1:
+            raise IndexError_("n_dims must be >= 1")
+        if max_entries < 2:
+            raise IndexError_("max_entries must be >= 2")
+        self.n_dims = n_dims
+        self.max_entries = max_entries
+        self.min_entries = min_entries if min_entries is not None else max(
+            1, max_entries * 2 // 5
+        )
+        if not 1 <= self.min_entries <= max_entries // 2:
+            raise IndexError_(
+                f"min_entries must be in [1, {max_entries // 2}], "
+                f"got {self.min_entries}"
+            )
+        self._root = Node(level=0)
+        self._size = 0
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is a single leaf)."""
+        return self._root.level + 1
+
+    @property
+    def root(self) -> Node:
+        return self._root
+
+    def all_entries(self) -> list[Entry]:
+        """Every leaf entry, in depth-first order."""
+        out: list[Entry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.extend(node.entries)
+            else:
+                stack.extend(e.child for e in node.entries)  # type: ignore[misc]
+        return out
+
+    def level_stats(self) -> list[LevelStat]:
+        """Per-level node counts and average MBR extents (cost-model input)."""
+        per_level: dict[int, list[Node]] = {}
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            per_level.setdefault(node.level, []).append(node)
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)  # type: ignore[misc]
+        stats = []
+        for level in sorted(per_level):
+            nodes = [n for n in per_level[level] if n.entries]
+            if not nodes:
+                continue
+            sums = [0.0] * self.n_dims
+            for node in nodes:
+                for d, extent in enumerate(node.mbr().extents()):
+                    sums[d] += extent
+            stats.append(
+                LevelStat(
+                    level=level,
+                    n_nodes=len(nodes),
+                    avg_extents=tuple(s / len(nodes) for s in sums),
+                )
+            )
+        return stats
+
+    # -- search ------------------------------------------------------------------
+
+    def search(self, query: Rect, min_count: int | None = None) -> SearchResult:
+        """All leaf entries whose box intersects ``query``.
+
+        With ``min_count`` set, subtrees whose aggregated ``count`` falls
+        below it are pruned — the SUPPORTED-SEARCH filter: an entry's count
+        upper-bounds the local support of everything beneath it (Lemma 4.4),
+        so skipped subtrees cannot contain qualifying itemsets.
+        """
+        if query.n_dims != self.n_dims:
+            raise IndexError_(
+                f"query has {query.n_dims} dims, tree has {self.n_dims}"
+            )
+        hits: list[Entry] = []
+        visited = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            for entry in node.entries:
+                if min_count is not None and entry.count < min_count:
+                    continue
+                if not entry.rect.intersects(query):
+                    continue
+                if node.is_leaf:
+                    hits.append(entry)
+                else:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+        return SearchResult(hits, visited)
+
+    # -- insertion ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, payload: Any, count: int = 0) -> None:
+        """Insert one payload box (Guttman ChooseLeaf + quadratic split)."""
+        if rect.n_dims != self.n_dims:
+            raise IndexError_(f"rect has {rect.n_dims} dims, tree has {self.n_dims}")
+        entry = Entry(rect=rect, payload=payload, count=count)
+        split = self._insert_entry(self._root, entry, target_level=0)
+        if split is not None:
+            self._grow_root(split)
+        self._size += 1
+
+    def _insert_entry(self, node: Node, entry: Entry, target_level: int
+                      ) -> Node | None:
+        """Recursive insert; returns the sibling node if ``node`` split."""
+        if node.level == target_level:
+            node.entries.append(entry)
+        else:
+            slot = self._choose_subtree(node, entry.rect)
+            split_child = self._insert_entry(slot.child, entry, target_level)
+            slot.rect = slot.child.mbr()
+            slot.count = slot.child.max_count()
+            if split_child is not None:
+                node.entries.append(
+                    Entry(
+                        rect=split_child.mbr(),
+                        child=split_child,
+                        count=split_child.max_count(),
+                    )
+                )
+        if len(node.entries) > self.max_entries:
+            return self._split(node)
+        return None
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> Entry:
+        """Least-enlargement child, ties broken by smaller area."""
+        return min(
+            node.entries,
+            key=lambda e: (e.rect.enlargement(rect), e.rect.area()),
+        )
+
+    def _grow_root(self, sibling: Node) -> None:
+        old_root = self._root
+        self._root = Node(level=old_root.level + 1)
+        for child in (old_root, sibling):
+            self._root.entries.append(
+                Entry(rect=child.mbr(), child=child, count=child.max_count())
+            )
+
+    def _split(self, node: Node) -> Node:
+        """Guttman's quadratic split; ``node`` keeps one group, returns the other."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a, rect_b = group_a[0].rect, group_b[0].rect
+        rest = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+
+        while rest:
+            # If one group must take all remaining entries to reach the
+            # minimum, assign them wholesale.
+            if len(group_a) + len(rest) == self.min_entries:
+                group_a.extend(rest)
+                rest = []
+                break
+            if len(group_b) + len(rest) == self.min_entries:
+                group_b.extend(rest)
+                rest = []
+                break
+            idx, prefer_a = self._pick_next(rest, rect_a, rect_b)
+            entry = rest.pop(idx)
+            if prefer_a:
+                group_a.append(entry)
+                rect_a = rect_a.union(entry.rect)
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry.rect)
+
+        node.entries = group_a
+        sibling = Node(level=node.level, entries=group_b)
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: list[Entry]) -> tuple[int, int]:
+        """The pair wasting the most area if grouped together."""
+        best, best_waste = (0, 1), -1
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                union = entries[i].rect.union(entries[j].rect)
+                waste = union.area() - entries[i].rect.area() - entries[j].rect.area()
+                if waste > best_waste:
+                    best, best_waste = (i, j), waste
+        return best
+
+    @staticmethod
+    def _pick_next(rest: list[Entry], rect_a: Rect, rect_b: Rect
+                   ) -> tuple[int, bool]:
+        """Entry with max preference difference, and which group it prefers."""
+        best_idx, best_diff, prefer_a = 0, -1, True
+        for i, entry in enumerate(rest):
+            da = rect_a.enlargement(entry.rect)
+            db = rect_b.enlargement(entry.rect)
+            diff = abs(da - db)
+            if diff > best_diff:
+                best_idx, best_diff, prefer_a = i, diff, da < db
+        return best_idx, prefer_a
+
+    # -- deletion ------------------------------------------------------------------
+
+    def delete(self, rect: Rect, payload: Any) -> bool:
+        """Remove one leaf entry matching ``(rect, payload)``.
+
+        Returns ``False`` if no such entry exists.  Underfull nodes along
+        the path are dissolved and their entries reinserted (Guttman's
+        CondenseTree).
+        """
+        orphans: list[Entry] = []
+        removed = self._delete_rec(self._root, rect, payload, orphans)
+        if not removed:
+            return False
+        self._size -= 1
+        # Shrink a root that lost all but one child.
+        while not self._root.is_leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0].child  # type: ignore[assignment]
+        if not self._root.is_leaf and not self._root.entries:
+            self._root = Node(level=0)
+        for entry in orphans:
+            split = self._insert_entry(self._root, entry, target_level=0)
+            if split is not None:
+                self._grow_root(split)
+        return True
+
+    def _delete_rec(
+        self,
+        node: Node,
+        rect: Rect,
+        payload: Any,
+        orphans: list[Entry],
+    ) -> bool:
+        if node.is_leaf:
+            for i, entry in enumerate(node.entries):
+                if entry.rect == rect and entry.payload == payload:
+                    node.entries.pop(i)
+                    return True
+            return False
+        for i, slot in enumerate(node.entries):
+            if not slot.rect.intersects(rect):
+                continue
+            if self._delete_rec(slot.child, rect, payload, orphans):
+                child = slot.child
+                if len(child.entries) < self.min_entries:
+                    node.entries.pop(i)
+                    orphans.extend(self._leaf_entries_of(child))
+                elif child.entries:
+                    slot.rect = child.mbr()
+                    slot.count = child.max_count()
+                return True
+        return False
+
+    @staticmethod
+    def _leaf_entries_of(node: Node) -> list[Entry]:
+        """All leaf entries beneath a subtree (orphan flattening)."""
+        out: list[Entry] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                out.extend(current.entries)
+            else:
+                stack.extend(e.child for e in current.entries)  # type: ignore[misc]
+        return out

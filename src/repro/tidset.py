@@ -1,0 +1,104 @@
+"""Tidsets: sets of record ids represented as Python integer bitmasks.
+
+A *tidset* is the set of record ids (tids) supporting an itemset.  COLARM's
+online operators spend most of their time intersecting tidsets with the
+focal subset, so the representation matters.  Arbitrary-precision integers
+give us branch-free AND/OR over 64-bit words plus a hardware popcount via
+``int.bit_count`` — on the dataset sizes used here this outperforms both
+``set`` and sorted numpy arrays by a wide margin.
+
+The empty tidset is ``0``; the tidset holding tid ``i`` is ``1 << i``.
+All functions are pure; tidsets are immutable values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "EMPTY",
+    "from_tids",
+    "full",
+    "singleton",
+    "count",
+    "contains",
+    "is_subset",
+    "intersect",
+    "union",
+    "difference",
+    "iter_tids",
+    "to_list",
+]
+
+EMPTY = 0
+
+
+def from_tids(tids: Iterable[int]) -> int:
+    """Build a tidset from an iterable of record ids."""
+    mask = 0
+    for tid in tids:
+        if tid < 0:
+            raise ValueError(f"tid must be non-negative, got {tid}")
+        mask |= 1 << tid
+    return mask
+
+
+def full(n_records: int) -> int:
+    """The tidset containing every tid in ``range(n_records)``."""
+    if n_records < 0:
+        raise ValueError("n_records must be non-negative")
+    return (1 << n_records) - 1
+
+
+def singleton(tid: int) -> int:
+    """The tidset holding exactly one tid."""
+    if tid < 0:
+        raise ValueError(f"tid must be non-negative, got {tid}")
+    return 1 << tid
+
+
+def count(tidset: int) -> int:
+    """Number of tids in the set (popcount)."""
+    return tidset.bit_count()
+
+
+def contains(tidset: int, tid: int) -> bool:
+    """Whether ``tid`` is a member of ``tidset``."""
+    return (tidset >> tid) & 1 == 1
+
+
+def is_subset(inner: int, outer: int) -> bool:
+    """Whether every tid of ``inner`` is also in ``outer``."""
+    return inner & ~outer == 0
+
+
+def intersect(a: int, b: int) -> int:
+    """Set intersection."""
+    return a & b
+
+
+def union(a: int, b: int) -> int:
+    """Set union."""
+    return a | b
+
+
+def difference(a: int, b: int) -> int:
+    """Tids in ``a`` but not in ``b``."""
+    return a & ~b
+
+
+def iter_tids(tidset: int) -> Iterator[int]:
+    """Yield member tids in increasing order.
+
+    Peels the lowest set bit each step, so the cost is proportional to the
+    number of members rather than the universe size.
+    """
+    while tidset:
+        low = tidset & -tidset
+        yield low.bit_length() - 1
+        tidset ^= low
+
+
+def to_list(tidset: int) -> list[int]:
+    """Member tids as a sorted list."""
+    return list(iter_tids(tidset))

@@ -1,0 +1,17 @@
+"""Workload generators and the Section 5 experiment grids."""
+
+from repro.workloads.experiments import EXPERIMENTS, FOCAL_FRACTIONS, ExperimentSpec
+from repro.workloads.queries import (
+    WorkloadQuery,
+    focal_size_workload,
+    random_focal_query,
+)
+
+__all__ = [
+    "WorkloadQuery",
+    "random_focal_query",
+    "focal_size_workload",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "FOCAL_FRACTIONS",
+]

@@ -1,0 +1,77 @@
+"""The Section 5 experiment configurations, scaled for pure Python.
+
+One :class:`ExperimentSpec` per benchmark dataset, mirroring the paper's
+grids structurally — four focal-subset sizes (50/20/10/1% of ``|D|``),
+three minsupp values, three minconf values, primary support fixed per
+dataset — with record counts and thresholds scaled down so the whole
+harness runs in minutes (see DESIGN.md's substitution notes; EXPERIMENTS.md
+records the mapping against the paper's settings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dataset.synthetic import chess_like, mushroom_like, pumsb_like
+from repro.dataset.table import RelationalTable
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "FOCAL_FRACTIONS"]
+
+#: The paper's four |D^Q| settings (Figures 9-11, charts (a)-(d)).
+FOCAL_FRACTIONS: tuple[float, ...] = (0.50, 0.20, 0.10, 0.01)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to regenerate one dataset's evaluation figures."""
+
+    name: str
+    make_table: Callable[[], RelationalTable]
+    primary_support: float
+    #: The primary-threshold sweep of Figure 8 (fractions, descending).
+    fig8_thresholds: tuple[float, ...]
+    #: The three minsupp values of the figure-9/10/11 grids.
+    minsupps: tuple[float, ...]
+    #: The three minconf values of Section 5.1 (85/90/95% in the paper).
+    minconfs: tuple[float, ...]
+    #: Paper counterpart settings, recorded for EXPERIMENTS.md.
+    paper_primary: float
+    paper_minsupps: tuple[float, ...]
+
+    def queries_per_setting(self) -> int:
+        return 3
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "chess": ExperimentSpec(
+        name="chess",
+        make_table=chess_like,
+        primary_support=0.08,
+        fig8_thresholds=(0.60, 0.40, 0.30, 0.20, 0.10, 0.05),
+        minsupps=(0.30, 0.35, 0.40),
+        minconfs=(0.85, 0.90, 0.95),
+        paper_primary=0.60,
+        paper_minsupps=(0.80, 0.85, 0.90),
+    ),
+    "mushroom": ExperimentSpec(
+        name="mushroom",
+        make_table=mushroom_like,
+        primary_support=0.08,
+        fig8_thresholds=(0.60, 0.40, 0.30, 0.20, 0.10, 0.05),
+        minsupps=(0.25, 0.30, 0.35),
+        minconfs=(0.85, 0.90, 0.95),
+        paper_primary=0.05,
+        paper_minsupps=(0.70, 0.75, 0.80),
+    ),
+    "pumsb": ExperimentSpec(
+        name="pumsb",
+        make_table=pumsb_like,
+        primary_support=0.06,
+        fig8_thresholds=(0.60, 0.40, 0.30, 0.20, 0.10, 0.05),
+        minsupps=(0.25, 0.30, 0.35),
+        minconfs=(0.85, 0.90, 0.95),
+        paper_primary=0.80,
+        paper_minsupps=(0.85, 0.88, 0.91),
+    ),
+}

@@ -1,0 +1,119 @@
+"""Random localized-query workload generation.
+
+The paper's evaluation (Section 5) submits, for every parameter setting,
+several queries with a *fixed-size* focal subset placed over different
+regions of the dataset.  :func:`random_focal_query` searches for range
+selections whose focal subset hits a target fraction of the records;
+:func:`focal_size_workload` builds the per-setting batches the benchmarks
+average over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import tidset as ts
+from repro.core.query import LocalizedQuery
+from repro.dataset.table import RelationalTable
+from repro.errors import QueryError
+
+__all__ = ["random_focal_query", "focal_size_workload", "WorkloadQuery"]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One generated query plus the focal size it actually achieved."""
+
+    query: LocalizedQuery
+    dq_size: int
+    target_fraction: float
+
+
+def random_focal_query(
+    table: RelationalTable,
+    target_fraction: float,
+    minsupp: float,
+    minconf: float,
+    rng: np.random.Generator,
+    item_attributes: frozenset[int] | None = None,
+    max_range_attrs: int = 3,
+    attempts: int = 60,
+    tolerance: float = 0.6,
+) -> WorkloadQuery:
+    """A random query whose focal subset is ~``target_fraction`` of records.
+
+    Randomly picks 1..``max_range_attrs`` range attributes with contiguous
+    value runs, keeping the candidate whose subset size lands closest to
+    the target; raises :class:`QueryError` only if every attempt produced
+    an empty subset.  ``tolerance`` is the accepted relative deviation for
+    early exit.
+    """
+    if not 0.0 < target_fraction <= 1.0:
+        raise QueryError(f"target_fraction must be in (0, 1], got {target_fraction}")
+    m = table.n_records
+    target = max(1, int(round(target_fraction * m)))
+    best: tuple[int, dict[int, frozenset[int]]] | None = None
+
+    for _ in range(attempts):
+        n_attrs = int(rng.integers(1, max_range_attrs + 1))
+        attrs = rng.choice(table.n_attributes, size=min(n_attrs, table.n_attributes),
+                           replace=False)
+        selections: dict[int, frozenset[int]] = {}
+        for ai in attrs:
+            card = table.schema.attributes[int(ai)].cardinality
+            width = int(rng.integers(1, card + 1))
+            start = int(rng.integers(0, card - width + 1))
+            selections[int(ai)] = frozenset(range(start, start + width))
+        dq_size = ts.count(table.tids_matching(selections))
+        if dq_size == 0:
+            continue
+        if best is None or abs(dq_size - target) < abs(best[0] - target):
+            best = (dq_size, selections)
+        if abs(dq_size - target) <= tolerance * target:
+            break
+
+    if best is None:
+        raise QueryError(
+            f"could not generate a non-empty focal subset after {attempts} attempts"
+        )
+    dq_size, selections = best
+    query = LocalizedQuery(
+        range_selections=selections,
+        minsupp=minsupp,
+        minconf=minconf,
+        item_attributes=item_attributes,
+    )
+    return WorkloadQuery(
+        query=query, dq_size=dq_size, target_fraction=target_fraction
+    )
+
+
+def focal_size_workload(
+    table: RelationalTable,
+    fractions: tuple[float, ...],
+    minsupps: tuple[float, ...],
+    minconf: float,
+    queries_per_setting: int = 3,
+    seed: int = 0,
+) -> dict[tuple[float, float], list[WorkloadQuery]]:
+    """The Section 5 grid: per (fraction, minsupp), several random queries.
+
+    Returns a mapping ``(fraction, minsupp) -> [WorkloadQuery, ...]``; each
+    list holds ``queries_per_setting`` queries over different regions, as
+    the paper averages over "several runs by submitting queries with fixed
+    sized D^Q over different regions of the dataset".
+    """
+    rng = np.random.default_rng(seed)
+    workload: dict[tuple[float, float], list[WorkloadQuery]] = {}
+    for fraction in fractions:
+        for minsupp in minsupps:
+            batch = [
+                random_focal_query(
+                    table, fraction, minsupp, minconf, rng
+                )
+                for _ in range(queries_per_setting)
+            ]
+            workload[(fraction, minsupp)] = batch
+    return workload

@@ -1,0 +1,75 @@
+"""Report formatting helpers."""
+
+import csv
+
+from repro.analysis.reporting import format_series, format_table, write_csv
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["plan", "time"],
+        [["S-E-V", 1.5], ["ARM", 20.25]],
+        title="Results",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Results"
+    assert lines[1].startswith("plan")
+    assert set(lines[2]) <= {"-", " "}
+    assert "S-E-V" in lines[3]
+    assert "20.25" in lines[4]
+    # all rows padded to equal column starts
+    assert lines[3].index("1.5") == lines[4].index("20.25")
+
+
+def test_format_table_widens_for_long_cells():
+    text = format_table(["x"], [["a-very-long-cell"]])
+    header, sep, row = text.splitlines()
+    assert len(sep) == len("a-very-long-cell")
+
+
+def test_format_series():
+    text = format_series("chess", [0.1, 0.2], [10, 20])
+    assert text == "chess: (0.1, 10) (0.2, 20)"
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = tmp_path / "out" / "table.csv"
+    write_csv(path, ["a", "b"], [[1, 2.5], ["x", "y"]])
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows == [["a", "b"], ["1", "2.5"], ["x", "y"]]
+
+
+def test_float_rendering():
+    text = format_table(["v"], [[0.123456789]])
+    assert "0.123457" in text
+
+
+def test_ascii_bars_positive_only():
+    from repro.analysis.reporting import ascii_bars
+
+    text = ascii_bars(["a", "bb"], [10.0, 5.0], width=10, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+    assert all("|" in line for line in lines[1:])
+
+
+def test_ascii_bars_with_negatives():
+    from repro.analysis.reporting import ascii_bars
+
+    text = ascii_bars(["up", "down"], [4.0, -2.0], width=8)
+    up, down = text.splitlines()
+    assert up.index("|") < up.index("#")
+    assert down.index("#") < down.index("|")
+
+
+def test_ascii_bars_validation():
+    import pytest
+
+    from repro.analysis.reporting import ascii_bars
+
+    with pytest.raises(ValueError):
+        ascii_bars(["a"], [1.0, 2.0])
+    assert ascii_bars([], [], title="empty") == "empty"

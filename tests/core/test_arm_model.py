@@ -1,0 +1,121 @@
+"""The ARM cardinality model: F1/F2 exactness, clique series, chain bound."""
+
+import pytest
+
+from repro import tidset as ts
+from repro.core.costs import _model_arm_counts
+from repro.core.query import LocalizedQuery
+from repro.dataset.schema import Item
+from tests.conftest import make_random_table
+
+
+def build_inputs(table, selections):
+    dq = table.tids_matching(selections)
+    item_tidsets = {
+        (item.attribute, item.value): mask
+        for item, mask in table.item_tidsets().items()
+    }
+    return item_tidsets, dq, ts.count(dq)
+
+
+def exact_f1(table, dq, min_count, item_attrs=None):
+    out = 0
+    for item, mask in table.item_tidsets().items():
+        if item_attrs is not None and item.attribute not in item_attrs:
+            continue
+        if ts.count(mask & dq) >= min_count:
+            out += 1
+    return out
+
+
+def test_zero_when_nothing_frequent():
+    table = make_random_table(seed=131, n_records=50)
+    query = LocalizedQuery({0: frozenset({0})}, 0.9, 0.5)
+    item_tidsets, dq, dq_size = build_inputs(table, query.range_selections)
+    count, fanout = _model_arm_counts(
+        query, item_tidsets, dq, dq_size, min_count=dq_size + 1
+    )
+    assert (count, fanout) == (0.0, 0.0)
+
+
+def test_f1_counted_exactly():
+    table = make_random_table(seed=133, n_records=60)
+    query = LocalizedQuery({0: frozenset({0, 1})}, 0.4, 0.5)
+    item_tidsets, dq, dq_size = build_inputs(table, query.range_selections)
+    min_count = 20
+    count, fanout = _model_arm_counts(query, item_tidsets, dq, dq_size,
+                                      min_count)
+    f1 = exact_f1(table, dq, min_count)
+    assert count >= f1  # F1 is always included
+    assert fanout >= 2.0 * f1
+
+
+def test_respects_item_attributes():
+    table = make_random_table(seed=135, n_records=60)
+    base = {0: frozenset({0, 1})}
+    restricted = LocalizedQuery(base, 0.4, 0.5,
+                                item_attributes=frozenset({1}))
+    unrestricted = LocalizedQuery(base, 0.4, 0.5)
+    item_tidsets, dq, dq_size = build_inputs(table, base)
+    c_restricted, _ = _model_arm_counts(restricted, item_tidsets, dq,
+                                        dq_size, 15)
+    c_unrestricted, _ = _model_arm_counts(unrestricted, item_tidsets, dq,
+                                          dq_size, 15)
+    assert c_restricted <= c_unrestricted
+
+
+def test_chain_lower_bound_fires_on_pure_subset():
+    """A cluster-pure region (all records identical) has 2^n frequent
+    itemsets; the greedy chain must report that explosion."""
+    import numpy as np
+
+    from repro.dataset.schema import Attribute, Schema
+    from repro.dataset.table import RelationalTable
+
+    n_attrs = 8
+    attrs = tuple(
+        Attribute(f"a{i}", ("x", "y")) for i in range(n_attrs)
+    )
+    data = np.zeros((40, n_attrs), dtype=np.int32)  # all-identical records
+    data[30:, :] = 1  # a second block so items are not universal
+    table = RelationalTable(Schema(attrs), data)
+    query = LocalizedQuery({0: frozenset({0})}, 0.5, 0.5)
+    item_tidsets, dq, dq_size = build_inputs(table, query.range_selections)
+    count, fanout = _model_arm_counts(query, item_tidsets, dq, dq_size,
+                                      min_count=15)
+    # chain length reaches n_attrs (all records in the subset agree)
+    assert count >= 2.0 ** n_attrs
+    assert fanout >= 3.0 ** n_attrs
+
+
+def test_monotone_in_min_count():
+    table = make_random_table(seed=137, n_records=80)
+    query = LocalizedQuery({0: frozenset({0, 1, 2})}, 0.3, 0.5)
+    item_tidsets, dq, dq_size = build_inputs(table, query.range_selections)
+    counts = [
+        _model_arm_counts(query, item_tidsets, dq, dq_size, mc)[0]
+        for mc in (5, 15, 30)
+    ]
+    assert counts[0] >= counts[1] >= counts[2]
+
+
+def test_single_frequent_item():
+    """Exactly one frequent item -> one itemset, fan-out two."""
+    import numpy as np
+
+    from repro.dataset.schema import Attribute, Schema
+    from repro.dataset.table import RelationalTable
+
+    attrs = (Attribute("a", ("p", "q")), Attribute("b", ("r", "s", "t")))
+    rng = np.random.default_rng(1)
+    data = np.column_stack([
+        np.zeros(30, dtype=np.int32),           # a=p everywhere
+        rng.integers(0, 3, size=30),            # b scattered
+    ]).astype(np.int32)
+    table = RelationalTable(Schema(attrs), data)
+    query = LocalizedQuery({}, 0.9, 0.5)
+    item_tidsets, dq, dq_size = build_inputs(table, {})
+    count, fanout = _model_arm_counts(query, item_tidsets, dq, dq_size,
+                                      min_count=28)
+    assert count == pytest.approx(1.0)
+    assert fanout == pytest.approx(2.0)

@@ -1,0 +1,118 @@
+"""Cost-model calibration: probe generation and NNLS fitting."""
+
+import pytest
+
+from repro.core.calibration import calibrate, default_probe_queries
+from repro.core.costs import DEFAULT_WEIGHTS
+from repro.core.mipindex import build_mip_index
+from tests.conftest import make_random_table
+
+
+@pytest.fixture(scope="module")
+def index():
+    table = make_random_table(seed=31, n_records=100,
+                              cardinalities=(4, 3, 3, 2, 3))
+    return build_mip_index(table, primary_support=0.05)
+
+
+def test_default_probe_queries(index):
+    probes = default_probe_queries(index, n_queries=5, seed=3)
+    assert len(probes) == 5
+    for query in probes:
+        assert index.table.tids_matching(query.range_selections) != 0
+        assert 0 < query.minsupp <= 1
+
+
+def test_probe_queries_deterministic(index):
+    a = default_probe_queries(index, n_queries=4, seed=9)
+    b = default_probe_queries(index, n_queries=4, seed=9)
+    assert a == b
+
+
+def test_calibrate_produces_usable_weights(index):
+    report = calibrate(index, default_probe_queries(index, 4, seed=1))
+    assert report.n_runs == 4 * 6  # every probe runs all six plans
+    assert report.residual >= 0.0
+    weights = report.weights.weights
+    assert set(weights) == set(DEFAULT_WEIGHTS)
+    assert all(w >= 0 for w in weights.values())
+    assert any(w > 0 for w in weights.values())
+
+
+def test_calibrated_weights_improve_fit(index):
+    """Fitted weights should predict probe times at least as well as the
+    defaults (they minimize exactly that residual)."""
+    import numpy as np
+
+    from repro import tidset as ts
+    from repro.core.costs import CostModel, QueryProfile
+    from repro.core.plans import PlanKind, execute_plan
+    from repro.itemsets.apriori import min_count_for
+
+    probes = default_probe_queries(index, 4, seed=7)
+    report = calibrate(index, probes)
+
+    default_model = CostModel(index.stats)
+    fitted_model = CostModel(index.stats, report.weights)
+    default_err, fitted_err = [], []
+    for query in probes:
+        focal = query.focal_range(index.cardinalities)
+        dq = index.table.tids_matching(query.range_selections)
+        profile = QueryProfile.from_query(
+            query, focal, index.stats, ts.count(dq),
+            min_count_for(query.minsupp, ts.count(dq)),
+        )
+        for kind in PlanKind:
+            result = execute_plan(kind, index, query)
+            focus = result.trace.by_name("FOCUS")
+            measured = result.elapsed - (focus.elapsed if focus else 0)
+            default_err.append(default_model.estimate(kind, profile) - measured)
+            fitted_err.append(fitted_model.estimate(kind, profile) - measured)
+    # Timing noise allows some slack, but the fit should not be far worse.
+    assert np.sqrt(np.mean(np.square(fitted_err))) <= \
+        2.0 * np.sqrt(np.mean(np.square(default_err)))
+
+
+def test_degenerate_probe_does_not_poison_weights(index):
+    """A probe whose ARM run explodes must not inflate every weight.
+
+    The robust median-of-ratios fit exists exactly for this: synthesize a
+    probe set that includes a degenerate two-record focal subset (whose
+    rule fan-out blows up ARM's time relative to its load) and check that
+    the fitted eliminate/verify weights stay within sane bounds of a fit
+    without it.
+    """
+    from repro.core.query import LocalizedQuery
+
+    clean = default_probe_queries(index, 4, seed=13)
+    # find a tiny non-empty subset to serve as the degenerate probe
+    degenerate = None
+    table = index.table
+    from repro import tidset as ts
+
+    for a in range(table.n_attributes):
+        for v in range(table.schema.attributes[a].cardinality):
+            for b in range(table.n_attributes):
+                if b == a:
+                    continue
+                for w in range(table.schema.attributes[b].cardinality):
+                    sel = {a: frozenset({v}), b: frozenset({w})}
+                    size = ts.count(table.tids_matching(sel))
+                    if 1 <= size <= 4:
+                        degenerate = LocalizedQuery(sel, 0.3, 0.5)
+                        break
+                if degenerate:
+                    break
+            if degenerate:
+                break
+        if degenerate:
+            break
+    if degenerate is None:
+        pytest.skip("no tiny focal subset in this dataset")
+
+    base = calibrate(index, clean)
+    poisoned = calibrate(index, clean + [degenerate])
+    for feature in ("eliminate", "verify", "search"):
+        b = base.weights.weights[feature]
+        p = poisoned.weights.weights[feature]
+        assert p <= b * 10, (feature, b, p)

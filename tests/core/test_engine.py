@@ -1,0 +1,97 @@
+"""The Colarm engine facade."""
+
+import pytest
+
+from repro import Colarm, LocalizedQuery, PlanKind
+from repro.errors import DataError, QueryError
+from tests.conftest import make_random_table
+
+
+@pytest.fixture(scope="module")
+def engine():
+    table = make_random_table(seed=41, n_records=100,
+                              cardinalities=(4, 3, 3, 2, 3))
+    return Colarm(table, primary_support=0.05)
+
+
+def test_construction_validates():
+    table = make_random_table(seed=1, n_records=10)
+    with pytest.raises(DataError):
+        Colarm(table, primary_support=0.0)
+    with pytest.raises(DataError):
+        Colarm(table, primary_support=1.5)
+
+
+def test_query_with_optimizer(engine):
+    query = LocalizedQuery({0: frozenset({1})}, 0.3, 0.6)
+    outcome = engine.query(query)
+    assert outcome.chosen_by == "optimizer"
+    assert outcome.choice is not None
+    assert outcome.plan is outcome.choice.kind
+    assert outcome.n_rules == len(outcome.rules)
+    assert outcome.elapsed > 0
+    assert outcome.dq_size > 0
+
+
+def test_query_with_forced_plan(engine):
+    query = LocalizedQuery({0: frozenset({1})}, 0.3, 0.6)
+    for plan in (PlanKind.ARM, "SS-E-U-V", "sev"):
+        outcome = engine.query(query, plan=plan)
+        assert outcome.chosen_by == "forced"
+        assert outcome.choice is None
+
+
+def test_query_from_text(engine):
+    text = (
+        "REPORT LOCALIZED ASSOCIATION RULES FROM t "
+        "WHERE RANGE a0 = (v1) "
+        "HAVING minsupport = 0.3 AND minconfidence = 0.6;"
+    )
+    outcome = engine.query(text)
+    structured = engine.query(LocalizedQuery({0: frozenset({1})}, 0.3, 0.6),
+                              plan=outcome.plan)
+    key = lambda rs: [(r.antecedent, r.consequent) for r in rs]
+    assert key(outcome.rules) == key(structured.rules)
+
+
+def test_compare_plans_runs_all_six(engine):
+    query = LocalizedQuery({0: frozenset({1, 2})}, 0.35, 0.7)
+    results = engine.compare_plans(query)
+    assert set(results) == set(PlanKind)
+    key = lambda rs: sorted((r.antecedent, r.consequent) for r in rs)
+    mip = [k for k in PlanKind if k is not PlanKind.ARM]
+    base = key(results[mip[0]].rules)
+    for kind in mip[1:]:
+        assert key(results[kind].rules) == base
+
+
+def test_choose_plan_without_execution(engine):
+    query = LocalizedQuery({0: frozenset({1})}, 0.3, 0.6)
+    choice = engine.choose_plan(query)
+    assert choice.kind in PlanKind
+
+
+def test_calibrate_updates_optimizer(engine):
+    before = engine.optimizer.weights
+    report = engine.calibrate(n_probes=3, seed=5)
+    assert engine.optimizer.weights is report.weights
+    assert report.n_runs == 18
+
+
+def test_global_rules(engine):
+    rules = engine.global_rules(minsupp=0.3, minconf=0.5)
+    table = engine.table
+    for rule in rules:
+        count = table.support_count(rule.items)
+        assert count / table.n_records >= 0.3
+        assert count / table.support_count(rule.antecedent) >= 0.5
+
+
+def test_engine_introspection(engine):
+    assert engine.n_mips == len(engine.index.mips)
+    assert engine.schema is engine.table.schema
+
+
+def test_bad_query_raises(engine):
+    with pytest.raises(QueryError):
+        engine.query(LocalizedQuery({99: frozenset({0})}, 0.3, 0.5))

@@ -1,0 +1,75 @@
+"""Multi-query batching: identical output, shared work."""
+
+import pytest
+
+from repro.core.mipindex import build_mip_index
+from repro.core.multiquery import execute_batch
+from repro.core.plans import PlanKind, execute_plan
+from repro.core.query import LocalizedQuery
+from repro.errors import QueryError
+from tests.conftest import make_random_table
+
+
+@pytest.fixture(scope="module")
+def index():
+    table = make_random_table(seed=51, n_records=100,
+                              cardinalities=(4, 3, 3, 2, 3))
+    return build_mip_index(table, primary_support=0.05)
+
+
+def rule_key(rules):
+    return sorted((r.antecedent, r.consequent, r.support_count) for r in rules)
+
+
+def test_batch_matches_individual_execution(index):
+    queries = [
+        LocalizedQuery({0: frozenset({1})}, 0.3, 0.6),
+        LocalizedQuery({0: frozenset({1})}, 0.4, 0.8),      # same subset
+        LocalizedQuery({1: frozenset({0, 1})}, 0.3, 0.6),   # different subset
+        LocalizedQuery({0: frozenset({1})}, 0.3, 0.6,
+                       item_attributes=frozenset({1, 2})),
+    ]
+    report = execute_batch(index, queries)
+    assert report.n_queries == 4
+    for item, query in zip(report.items, queries):
+        solo = execute_plan(PlanKind.SEV, index, query)
+        assert rule_key(item.rules) == rule_key(solo.rules), query
+        assert item.dq_size == solo.dq_size
+
+
+def test_batch_shares_focal_groups(index):
+    queries = [
+        LocalizedQuery({0: frozenset({1})}, 0.3, 0.6),
+        LocalizedQuery({0: frozenset({1})}, 0.5, 0.9),
+        LocalizedQuery({0: frozenset({2})}, 0.3, 0.6),
+    ]
+    report = execute_batch(index, queries)
+    assert report.n_groups == 2
+    assert report.n_searches == 2
+    assert report.items[0].shared_group == report.items[1].shared_group
+    assert report.items[0].shared_group != report.items[2].shared_group
+
+
+def test_batch_expand_mode(index):
+    queries = [LocalizedQuery({0: frozenset({1})}, 0.35, 0.7)]
+    report = execute_batch(index, queries, expand=True)
+    solo = execute_plan(PlanKind.SEV, index, queries[0], expand=True)
+    assert rule_key(report.items[0].rules) == rule_key(solo.rules)
+
+
+def test_empty_batch_rejected(index):
+    with pytest.raises(QueryError):
+        execute_batch(index, [])
+
+
+def test_batch_rejects_empty_subset(index):
+    table = index.table
+    impossible = LocalizedQuery(
+        {0: frozenset({0}), 1: frozenset({2}), 2: frozenset({0}),
+         3: frozenset({1}), 4: frozenset({2})},
+        0.3, 0.5,
+    )
+    if table.tids_matching(impossible.range_selections):
+        pytest.skip("selection unexpectedly non-empty")
+    with pytest.raises(QueryError):
+        execute_batch(index, [impossible])

@@ -1,0 +1,144 @@
+"""The REPORT LOCALIZED ASSOCIATION RULES query language."""
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.errors import ParseError, SchemaError
+
+
+BASE = (
+    "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+    "WHERE RANGE Location = (Seattle) AND Gender = (F) "
+    "HAVING minsupport = 0.5 AND minconfidence = 0.8;"
+)
+
+
+def test_basic(salary):
+    parsed = parse_query(BASE, salary.schema)
+    assert parsed.dataset == "salary"
+    q = parsed.query
+    loc = salary.schema.attribute_index("Location")
+    gen = salary.schema.attribute_index("Gender")
+    assert q.range_selections == {loc: frozenset({2}), gen: frozenset({1})}
+    assert q.minsupp == 0.5
+    assert q.minconf == 0.8
+    assert q.item_attributes is None
+
+
+def test_item_attributes(salary):
+    text = (
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Location = (Seattle) "
+        "AND ITEM ATTRIBUTES Age, Salary "
+        "HAVING minsupport = 0.4 AND minconfidence = 0.9;"
+    )
+    q = parse_query(text, salary.schema).query
+    assert q.item_attributes == frozenset(
+        {salary.schema.attribute_index("Age"),
+         salary.schema.attribute_index("Salary")}
+    )
+
+
+def test_multi_value_ranges_and_braces(salary):
+    text = (
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Age = {20-30, 30-40}, Company = {IBM} "
+        "HAVING minsupport = 0.3 AND minconfidence = 0.7"
+    )
+    q = parse_query(text, salary.schema).query
+    age = salary.schema.attribute_index("Age")
+    comp = salary.schema.attribute_index("Company")
+    assert q.range_selections[age] == frozenset({0, 1})
+    assert q.range_selections[comp] == frozenset({0})
+
+
+def test_quoted_labels(salary):
+    text = (
+        'REPORT LOCALIZED ASSOCIATION RULES FROM salary '
+        'WHERE RANGE Title = ("QA Lead", "Sw Engg") '
+        "HAVING minsupport = 0.2 AND minconfidence = 0.5;"
+    )
+    q = parse_query(text, salary.schema).query
+    title = salary.schema.attribute_index("Title")
+    assert q.range_selections[title] == frozenset({0, 1})
+
+
+def test_case_insensitive_keywords(salary):
+    text = (
+        "report localized association rules from salary "
+        "where range Gender = (F) "
+        "having MINSUPPORT = 0.5 and MINCONFIDENCE = 0.8"
+    )
+    q = parse_query(text, salary.schema).query
+    assert q.minsupp == 0.5
+
+
+def test_percent_thresholds(salary):
+    text = (
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Gender = (F) "
+        "HAVING minsupport = 50% AND minconfidence = 85%;"
+    )
+    q = parse_query(text, salary.schema).query
+    assert q.minsupp == pytest.approx(0.5)
+    assert q.minconf == pytest.approx(0.85)
+
+
+def test_thresholds_any_order(salary):
+    text = (
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Gender = (F) "
+        "HAVING minconfidence = 0.8 AND minsupport = 0.5;"
+    )
+    q = parse_query(text, salary.schema).query
+    assert (q.minsupp, q.minconf) == (0.5, 0.8)
+
+
+def test_single_bare_value(salary):
+    text = (
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Gender = F "
+        "HAVING minsupport = 0.5 AND minconfidence = 0.8;"
+    )
+    q = parse_query(text, salary.schema).query
+    gen = salary.schema.attribute_index("Gender")
+    assert q.range_selections[gen] == frozenset({1})
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "SELECT * FROM salary",
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary",  # no WHERE
+        # missing '='
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Gender (F) "
+        "HAVING minsupport = 0.5 AND minconfidence = 0.8;",
+        # unterminated value list
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Gender = (F "
+        "HAVING minsupport = 0.5 AND minconfidence = 0.8;",
+        # missing confidence
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Gender = (F) "
+        "HAVING minsupport = 0.5;",
+        # bad threshold value
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Gender = (F) "
+        "HAVING minsupport = high AND minconfidence = 0.8;",
+        # duplicate range attribute
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary WHERE RANGE Gender = (F) "
+        ", Gender = (M) HAVING minsupport = 0.5 AND minconfidence = 0.8;",
+        # trailing junk
+        BASE + " EXTRA",
+    ],
+)
+def test_parse_errors(salary, bad):
+    with pytest.raises(ParseError):
+        parse_query(bad, salary.schema)
+
+
+def test_unknown_attribute_raises_schema_error(salary):
+    text = (
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Nope = (x) "
+        "HAVING minsupport = 0.5 AND minconfidence = 0.8;"
+    )
+    with pytest.raises(SchemaError):
+        parse_query(text, salary.schema)

@@ -1,0 +1,101 @@
+"""Index save/load round-trips and corruption handling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostWeights
+from repro.core.mipindex import build_mip_index
+from repro.core.persistence import load_index, save_index
+from repro.core.plans import PlanKind, execute_plan
+from repro.core.query import LocalizedQuery
+from repro.errors import DataError
+from tests.conftest import make_random_table
+
+
+@pytest.fixture(scope="module")
+def index():
+    table = make_random_table(seed=61, n_records=80,
+                              cardinalities=(4, 3, 3, 2))
+    return build_mip_index(table, primary_support=0.08)
+
+
+def test_roundtrip_identical_index(index, tmp_path):
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)
+    loaded, weights = load_index(path)
+    assert weights is None
+    assert loaded.primary_support == index.primary_support
+    assert loaded.table.schema == index.table.schema
+    assert np.array_equal(loaded.table.data, index.table.data)
+    assert [m.itemset for m in loaded.mips] == [m.itemset for m in index.mips]
+    assert [m.global_count for m in loaded.mips] == \
+        [m.global_count for m in index.mips]
+
+
+def test_roundtrip_same_query_answers(index, tmp_path):
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)
+    loaded, _ = load_index(path)
+    query = LocalizedQuery({0: frozenset({1, 2})}, 0.3, 0.6)
+    key = lambda rs: sorted((r.antecedent, r.consequent, r.support_count)
+                            for r in rs)
+    for kind in PlanKind:
+        a = execute_plan(kind, index, query)
+        b = execute_plan(kind, loaded, query)
+        assert key(a.rules) == key(b.rules), kind
+
+
+def test_roundtrip_with_weights(index, tmp_path):
+    path = tmp_path / "t.colarm.npz"
+    weights = CostWeights({"nodes": 1e-6, "const": 2e-4})
+    save_index(index, path, weights=weights)
+    _, loaded_weights = load_index(path)
+    assert loaded_weights is not None
+    assert loaded_weights.weights == weights.weights
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(DataError):
+        load_index(tmp_path / "nope.npz")
+
+
+def test_load_garbage_file(tmp_path):
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"this is not an npz archive")
+    with pytest.raises(DataError):
+        load_index(path)
+
+
+def test_load_wrong_npz(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, something=np.arange(3))
+    with pytest.raises(DataError, match="not a COLARM index"):
+        load_index(path)
+
+
+def test_load_rejects_future_version(index, tmp_path):
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)
+    archive = dict(np.load(path))
+    meta = json.loads(bytes(archive["meta"]).decode())
+    meta["format_version"] = 999
+    archive["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **archive)
+    with pytest.raises(DataError, match="unsupported format version"):
+        load_index(path)
+
+
+def test_load_detects_itemset_mismatch(index, tmp_path):
+    """Tampered itemsets must be caught by the rebuild cross-check."""
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)
+    archive = dict(np.load(path))
+    items = archive["itemset_items"].copy()
+    if len(items):
+        items[0, 1] = (items[0, 1] + 1) % 2
+        archive["itemset_items"] = items
+        np.savez(path, **archive)
+        with pytest.raises(DataError, match="disagree"):
+            load_index(path)

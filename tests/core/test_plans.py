@@ -1,0 +1,118 @@
+"""The six mining plans: equivalence, traces, expansion semantics."""
+
+import pytest
+
+from repro import tidset as ts
+from repro.core.mipindex import build_mip_index
+from repro.core.plans import PlanKind, execute_plan, plan_from_name
+from repro.core.query import LocalizedQuery
+from repro.errors import QueryError
+from tests.conftest import make_random_table
+
+MIP_PLANS = (PlanKind.SEV, PlanKind.SVS, PlanKind.SSEV, PlanKind.SSVS,
+             PlanKind.SSEUV)
+
+
+def rule_key(rules):
+    return sorted(
+        (r.antecedent, r.consequent, r.support_count, round(r.confidence, 12))
+        for r in rules
+    )
+
+
+@pytest.fixture(scope="module")
+def setup():
+    table = make_random_table(seed=8, n_records=90,
+                              cardinalities=(4, 3, 3, 2, 3))
+    index = build_mip_index(table, primary_support=0.05)
+    return table, index
+
+
+QUERIES = [
+    LocalizedQuery({0: frozenset({1})}, 0.35, 0.6),
+    LocalizedQuery({0: frozenset({0, 2}), 2: frozenset({1})}, 0.4, 0.7),
+    LocalizedQuery({1: frozenset({0, 1})}, 0.25, 0.5,
+                   item_attributes=frozenset({0, 2, 3})),
+    LocalizedQuery({3: frozenset({0})}, 0.5, 0.9),
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_all_mip_plans_identical(setup, query):
+    _, index = setup
+    results = {k: execute_plan(k, index, query) for k in MIP_PLANS}
+    base = rule_key(results[PlanKind.SEV].rules)
+    for kind in MIP_PLANS[1:]:
+        assert rule_key(results[kind].rules) == base, kind
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_expanded_plans_identical_including_arm(setup, query):
+    """With the primary floor covering the query, expansion makes all six
+    plans (including from-scratch ARM) return byte-identical rule sets."""
+    table, index = setup
+    dq = table.tids_matching(query.range_selections)
+    floor_ok = index.primary_support <= query.minsupp * ts.count(dq) / len(table)
+    assert floor_ok, "test setup must satisfy the POQM coverage condition"
+    results = {
+        k: execute_plan(k, index, query, expand=True) for k in PlanKind
+    }
+    base = rule_key(results[PlanKind.SEV].rules)
+    for kind in PlanKind:
+        assert rule_key(results[kind].rules) == base, kind
+
+
+def test_mip_rules_subset_of_arm_expanded(setup):
+    """Closed-itemset rules (expand=False) are a subset of the full
+    expanded rule family."""
+    _, index = setup
+    query = QUERIES[0]
+    closed_rules = execute_plan(PlanKind.SEV, index, query).rules
+    expanded_rules = execute_plan(PlanKind.SEV, index, query, expand=True).rules
+    expanded_keys = {(r.antecedent, r.consequent) for r in expanded_rules}
+    for rule in closed_rules:
+        assert (rule.antecedent, rule.consequent) in expanded_keys
+
+
+@pytest.mark.parametrize(
+    "kind,expected_ops",
+    [
+        (PlanKind.SEV, ["FOCUS", "SEARCH", "ELIMINATE", "VERIFY"]),
+        (PlanKind.SVS, ["FOCUS", "SEARCH", "SUPPORTED-VERIFY"]),
+        (PlanKind.SSEV, ["FOCUS", "SUPPORTED-SEARCH", "ELIMINATE", "VERIFY"]),
+        (PlanKind.SSVS, ["FOCUS", "SUPPORTED-SEARCH", "SUPPORTED-VERIFY"]),
+        (PlanKind.SSEUV,
+         ["FOCUS", "SUPPORTED-SEARCH", "ELIMINATE", "UNION", "VERIFY"]),
+        (PlanKind.ARM, ["FOCUS", "SELECT", "ARM"]),
+    ],
+)
+def test_plan_operator_pipelines(setup, kind, expected_ops):
+    """Each plan runs exactly the operator pipeline of Table 4 / Figs 5&7."""
+    _, index = setup
+    result = execute_plan(kind, index, QUERIES[0])
+    assert [op.name for op in result.trace.operators] == expected_ops
+    assert result.kind is kind
+    assert result.elapsed > 0
+    assert result.n_rules == len(result.rules)
+
+
+def test_sseuv_contained_skip_record_checks(setup):
+    """SS-E-U-V's ELIMINATE only sees partially overlapped candidates."""
+    _, index = setup
+    # A full-domain selection on one attribute makes many MIPs contained.
+    query = LocalizedQuery({0: frozenset({0, 1, 2, 3})}, 0.3, 0.6)
+    sseuv = execute_plan(PlanKind.SSEUV, index, query)
+    ssev = execute_plan(PlanKind.SSEV, index, query)
+    eliminate_sseuv = sseuv.trace.by_name("ELIMINATE")
+    eliminate_ssev = ssev.trace.by_name("ELIMINATE")
+    assert eliminate_sseuv.input_size <= eliminate_ssev.input_size
+    assert rule_key(sseuv.rules) == rule_key(ssev.rules)
+
+
+def test_plan_from_name():
+    assert plan_from_name("SS-E-U-V") is PlanKind.SSEUV
+    assert plan_from_name("ssev") is PlanKind.SSEV
+    assert plan_from_name("ARM") is PlanKind.ARM
+    assert plan_from_name("S-VS") is PlanKind.SVS
+    with pytest.raises(QueryError):
+        plan_from_name("nonsense")

@@ -1,0 +1,112 @@
+"""Index statistics: every precomputed profile checked against brute force."""
+
+import numpy as np
+import pytest
+
+from repro import tidset as ts
+from repro.core.mipindex import build_mip_index
+from repro.core.stats import LevelCountProfile
+from tests.conftest import make_random_table
+
+
+@pytest.fixture(scope="module")
+def setup():
+    table = make_random_table(seed=71, n_records=90,
+                              cardinalities=(4, 3, 3, 2))
+    index = build_mip_index(table, primary_support=0.08)
+    return table, index
+
+
+def test_basic_shape(setup):
+    table, index = setup
+    stats = index.stats
+    assert stats.n_records == table.n_records
+    assert stats.n_attributes == table.n_attributes
+    assert stats.cardinalities == table.schema.cardinalities()
+    assert stats.n_mips == len(index.mips)
+    assert stats.primary_support == index.primary_support
+
+
+def test_avg_box_extents(setup):
+    _, index = setup
+    stats = index.stats
+    for dim in range(stats.n_attributes):
+        expected = np.mean([m.box.extent(dim) for m in index.mips])
+        assert stats.avg_box_extents[dim] == pytest.approx(expected)
+
+
+def test_length_histogram_and_derived(setup):
+    _, index = setup
+    stats = index.stats
+    lengths = [m.length for m in index.mips]
+    assert sum(stats.length_histogram.values()) == len(lengths)
+    assert stats.avg_length == pytest.approx(np.mean(lengths))
+    assert stats.max_length == max(lengths)
+    assert stats.avg_pow2_length == pytest.approx(
+        np.mean([2.0 ** min(length, 16) for length in lengths])
+    )
+
+
+def test_attr_fix_prob(setup):
+    _, index = setup
+    stats = index.stats
+    for dim in range(stats.n_attributes):
+        expected = np.mean(
+            [dim in m.fixed_attributes for m in index.mips]
+        )
+        assert stats.attr_fix_prob[dim] == pytest.approx(expected)
+
+
+def test_fraction_with_count_at_least(setup):
+    _, index = setup
+    stats = index.stats
+    counts = [m.global_count for m in index.mips]
+    for threshold in (1, 10, max(counts), max(counts) + 1):
+        expected = sum(1 for c in counts if c >= threshold) / len(counts)
+        assert stats.fraction_with_count_at_least(threshold) == expected
+
+
+def test_mip_fixed_values_matrix(setup):
+    _, index = setup
+    stats = index.stats
+    for i, mip in enumerate(index.mips):
+        fixed = {item.attribute: item.value for item in mip.itemset}
+        for a in range(stats.n_attributes):
+            assert stats.mip_fixed_values[i, a] == fixed.get(a, -1)
+
+
+def test_item_local_counts_matrix(setup):
+    table, index = setup
+    stats = index.stats
+    for (attribute, value), col in stats.item_columns.items():
+        mask = table.item_tidsets().get((attribute, value))
+        if mask is None:
+            from repro.dataset.schema import Item
+
+            mask = table.item_tidset(Item(attribute, value))
+        for i, mip in enumerate(index.mips):
+            assert stats.item_local_counts[i, col] == ts.count(
+                mip.tidset & mask
+            )
+
+
+def test_level_count_profile():
+    profile = LevelCountProfile(0, np.asarray([1, 3, 3, 7]))
+    assert profile.fraction_at_least(0) == 1.0
+    assert profile.fraction_at_least(3) == 0.75
+    assert profile.fraction_at_least(8) == 0.0
+    empty = LevelCountProfile(0, np.asarray([], dtype=np.int64))
+    assert empty.fraction_at_least(1) == 0.0
+
+
+def test_tidset_words(setup):
+    _, index = setup
+    assert index.stats.tidset_words == -(-index.stats.n_records // 64)
+
+
+def test_level_counts_cover_tree(setup):
+    _, index = setup
+    stats = index.stats
+    leaf_profile = next(p for p in stats.level_counts if p.level == 0)
+    assert len(leaf_profile.sorted_max_counts) == \
+        next(s for s in stats.level_stats if s.level == 0).n_nodes

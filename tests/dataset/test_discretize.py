@@ -1,0 +1,88 @@
+"""Discretization: bin edges, application, labels, validation."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.discretize import (
+    apply_edges,
+    discretize_numeric,
+    equal_frequency_edges,
+    equal_width_edges,
+    interval_labels,
+)
+from repro.errors import DataError
+
+
+def test_equal_width_edges():
+    edges = equal_width_edges([0.0, 10.0], 5)
+    assert np.allclose(edges, [0, 2, 4, 6, 8, 10])
+
+
+def test_equal_width_degenerate_column():
+    edges = equal_width_edges([3.0, 3.0, 3.0], 2)
+    assert edges[0] < edges[-1]
+    assert len(edges) == 3
+
+
+def test_equal_frequency_balances_counts():
+    values = np.arange(100, dtype=float)
+    edges = equal_frequency_edges(values, 4)
+    codes = apply_edges(values, edges)
+    counts = np.bincount(codes)
+    assert counts.min() >= 20  # roughly balanced quartiles
+
+
+def test_equal_frequency_collapses_ties():
+    edges = equal_frequency_edges([1.0] * 50 + [2.0] * 50, 10)
+    assert len(edges) <= 3  # heavy ties collapse most quantiles
+
+
+def test_apply_edges_boundaries():
+    edges = np.array([0.0, 1.0, 2.0])
+    codes = apply_edges([0.0, 0.99, 1.0, 2.0], edges)
+    assert codes.tolist() == [0, 0, 1, 1]  # max value lands in last cell
+
+
+def test_apply_edges_rejects_outside_span():
+    with pytest.raises(DataError):
+        apply_edges([5.0], np.array([0.0, 1.0]))
+
+
+def test_apply_edges_rejects_non_increasing():
+    with pytest.raises(DataError):
+        apply_edges([0.5], np.array([0.0, 0.0, 1.0]))
+
+
+def test_interval_labels():
+    assert interval_labels(np.array([20.0, 30.0, 40.0])) == ("20-30", "30-40")
+
+
+def test_discretize_numeric_roundtrip():
+    values = [15.0, 25.0, 35.0, 45.0]
+    attr, codes = discretize_numeric("Age", values, 3, method="width")
+    assert attr.name == "Age"
+    assert attr.cardinality == 3
+    # Edges are 15/25/35/45; cells are half-open, so 25 lands in cell 1.
+    assert codes.tolist() == [0, 1, 2, 2]
+
+
+def test_discretize_numeric_frequency():
+    attr, codes = discretize_numeric("X", list(range(30)), 3, method="frequency")
+    assert attr.cardinality == 3
+    assert np.bincount(codes).tolist() == [10, 10, 10]
+
+
+def test_discretize_rejects_unknown_method():
+    with pytest.raises(DataError):
+        discretize_numeric("X", [1.0, 2.0], 2, method="kmeans")
+
+
+@pytest.mark.parametrize("bad", [[], [float("nan")], [float("inf")]])
+def test_rejects_bad_columns(bad):
+    with pytest.raises(DataError):
+        equal_width_edges(bad, 2)
+
+
+def test_rejects_bad_bins():
+    with pytest.raises(DataError):
+        equal_width_edges([1.0, 2.0], 0)

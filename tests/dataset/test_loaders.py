@@ -1,0 +1,108 @@
+"""CSV / FIMI loaders and the transactional-to-relational conversion."""
+
+import pytest
+
+from repro.dataset.loaders import (
+    load_csv,
+    load_fimi,
+    save_csv,
+    save_fimi,
+    transactions_to_table,
+)
+from repro.dataset.salary import salary_dataset
+from repro.errors import DataError
+
+
+def test_csv_roundtrip(tmp_path, salary):
+    path = tmp_path / "salary.csv"
+    save_csv(salary, path)
+    loaded = load_csv(
+        path,
+        value_order={
+            "Age": ("20-30", "30-40", "40-50"),
+            "Salary": ("30K-60K", "60K-90K", "90K-120K", "120K-150K"),
+        },
+    )
+    assert loaded.n_records == salary.n_records
+    for tid in range(salary.n_records):
+        assert loaded.record_labels(tid) == salary.record_labels(tid)
+
+
+def test_csv_column_order_is_first_seen(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("X,Y\nb,1\na,2\nb,1\n")
+    table = load_csv(path)
+    assert table.schema.attribute("X").values == ("b", "a")
+
+
+def test_csv_value_order_must_cover_labels(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("X\nfoo\nbar\n")
+    with pytest.raises(DataError):
+        load_csv(path, value_order={"X": ("foo",)})
+
+
+def test_csv_empty_file(tmp_path):
+    path = tmp_path / "e.csv"
+    path.write_text("")
+    with pytest.raises(DataError):
+        load_csv(path)
+
+
+def test_csv_header_only(tmp_path):
+    path = tmp_path / "h.csv"
+    path.write_text("A,B\n")
+    with pytest.raises(DataError):
+        load_csv(path)
+
+
+def test_fimi_roundtrip(tmp_path):
+    txns = [(1, 3, 5), (2, 3), (1,)]
+    path = tmp_path / "t.dat"
+    save_fimi(txns, path)
+    assert load_fimi(path) == txns
+
+
+def test_fimi_dedupes_and_sorts(tmp_path):
+    path = tmp_path / "t.dat"
+    path.write_text("5 3 3 1\n\n2\n")
+    assert load_fimi(path) == [(1, 3, 5), (2,)]
+
+
+def test_fimi_rejects_garbage(tmp_path):
+    path = tmp_path / "t.dat"
+    path.write_text("1 two 3\n")
+    with pytest.raises(DataError):
+        load_fimi(path)
+
+
+def test_fimi_rejects_empty(tmp_path):
+    path = tmp_path / "t.dat"
+    path.write_text("\n\n")
+    with pytest.raises(DataError):
+        load_fimi(path)
+
+
+def test_transactions_to_table():
+    mapping = {1: "A", 2: "A", 3: "B", 4: "B"}
+    txns = [(1, 3), (2, 4), (1, 4)]
+    table = transactions_to_table(txns, mapping)
+    assert table.schema.names == ("A", "B")
+    assert table.n_records == 3
+    assert table.record_labels(0) == {"A": "1", "B": "3"}
+    assert table.record_labels(2) == {"A": "1", "B": "4"}
+
+
+def test_transactions_to_table_missing_attribute():
+    with pytest.raises(DataError, match="missing attributes"):
+        transactions_to_table([(1,)], {1: "A", 2: "B"})
+
+
+def test_transactions_to_table_double_assignment():
+    with pytest.raises(DataError, match="assigned twice"):
+        transactions_to_table([(1, 2)], {1: "A", 2: "A"})
+
+
+def test_transactions_to_table_unmapped_item():
+    with pytest.raises(DataError, match="unmapped"):
+        transactions_to_table([(9,)], {1: "A"})

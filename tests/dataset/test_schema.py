@@ -1,0 +1,106 @@
+"""Attribute/Schema/Item behaviour and validation."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, Item, Schema
+from repro.errors import SchemaError
+
+
+def test_attribute_basics():
+    attr = Attribute("Age", ("20-30", "30-40"))
+    assert attr.cardinality == 2
+    assert attr.value_index("30-40") == 1
+
+
+def test_attribute_rejects_empty_name():
+    with pytest.raises(SchemaError):
+        Attribute("", ("x",))
+
+
+def test_attribute_rejects_no_values():
+    with pytest.raises(SchemaError):
+        Attribute("A", ())
+
+
+def test_attribute_rejects_duplicate_values():
+    with pytest.raises(SchemaError):
+        Attribute("A", ("x", "x"))
+
+
+def test_attribute_unknown_value_mentions_candidates():
+    attr = Attribute("A", ("x", "y"))
+    with pytest.raises(SchemaError, match="no value 'z'"):
+        attr.value_index("z")
+
+
+@pytest.fixture()
+def schema():
+    return Schema(
+        (
+            Attribute("Color", ("red", "green", "blue")),
+            Attribute("Size", ("S", "M")),
+        )
+    )
+
+
+def test_schema_shape(schema):
+    assert schema.n_attributes == 2
+    assert len(schema) == 2
+    assert schema.names == ("Color", "Size")
+    assert schema.cardinalities() == (3, 2)
+
+
+def test_schema_rejects_duplicate_names():
+    attr = Attribute("A", ("x",))
+    with pytest.raises(SchemaError):
+        Schema((attr, attr))
+
+
+def test_schema_rejects_empty():
+    with pytest.raises(SchemaError):
+        Schema(())
+
+
+def test_schema_lookup(schema):
+    assert schema.attribute_index("Size") == 1
+    assert schema.attribute("Size").name == "Size"
+    assert schema.attribute(0).name == "Color"
+    with pytest.raises(SchemaError):
+        schema.attribute_index("Nope")
+
+
+def test_item_construction(schema):
+    assert schema.item("Color", "blue") == Item(0, 2)
+    assert schema.item(1, 0) == Item(1, 0)
+    with pytest.raises(SchemaError):
+        schema.item("Color", 3)
+    with pytest.raises(SchemaError):
+        schema.item("Color", "purple")
+
+
+def test_all_items(schema):
+    items = schema.all_items()
+    assert len(items) == 5
+    assert items[0] == Item(0, 0)
+    assert items[-1] == Item(1, 1)
+
+
+def test_render(schema):
+    item = schema.item("Size", "M")
+    assert schema.render_item(item) == "Size=M"
+    rendered = schema.render_itemset([schema.item("Size", "M"),
+                                      schema.item("Color", "red")])
+    assert rendered == "{Color=red, Size=M}"
+
+
+def test_schema_equality_and_hash(schema):
+    other = Schema(schema.attributes)
+    assert schema == other
+    assert hash(schema) == hash(other)
+    assert schema != Schema((Attribute("X", ("a",)),))
+
+
+def test_items_sort_by_attribute_then_value():
+    assert sorted([Item(1, 0), Item(0, 2), Item(0, 1)]) == [
+        Item(0, 1), Item(0, 2), Item(1, 0),
+    ]

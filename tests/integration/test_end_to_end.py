@@ -1,0 +1,102 @@
+"""End-to-end integration: build -> calibrate -> parse -> optimize -> mine."""
+
+import numpy as np
+import pytest
+
+from repro import Colarm, PlanKind
+from repro.analysis import compare_itemsets, find_rule_flips
+from repro.core.multiquery import execute_batch
+from repro.dataset.synthetic import chess_like, quest_like
+from repro.workloads.queries import random_focal_query
+
+
+@pytest.fixture(scope="module")
+def chess_engine():
+    engine = Colarm(chess_like(n_records=400, seed=7), primary_support=0.10)
+    engine.calibrate(n_probes=4, seed=1)
+    return engine
+
+
+def test_full_pipeline_text_query(chess_engine):
+    outcome = chess_engine.query(
+        "REPORT LOCALIZED ASSOCIATION RULES FROM chess "
+        "WHERE RANGE region = (r1, r2) "
+        "HAVING minsupport = 0.4 AND minconfidence = 0.85;"
+    )
+    assert outcome.chosen_by == "optimizer"
+    assert outcome.dq_size > 0
+    for rule in outcome.rules:
+        assert rule.confidence >= 0.85
+
+
+def test_plan_results_consistent_across_workload(chess_engine):
+    rng = np.random.default_rng(3)
+    key = lambda rs: sorted((r.antecedent, r.consequent) for r in rs)
+    for fraction in (0.5, 0.1):
+        wq = random_focal_query(chess_engine.table, fraction, 0.4, 0.8, rng)
+        results = chess_engine.compare_plans(wq.query)
+        mip_kinds = [k for k in PlanKind if k is not PlanKind.ARM]
+        base = key(results[mip_kinds[0]].rules)
+        for kind in mip_kinds[1:]:
+            assert key(results[kind].rules) == base
+
+
+def test_optimizer_choice_tracks_measured_times(chess_engine):
+    """Over a small workload, the optimizer's cumulative pick should stay
+    within 2x of the per-query best plan's cumulative time (regret bound)."""
+    rng = np.random.default_rng(9)
+    chosen_total = best_total = 0.0
+    for fraction in (0.5, 0.2, 0.05):
+        wq = random_focal_query(chess_engine.table, fraction, 0.45, 0.85, rng)
+        results = chess_engine.compare_plans(wq.query)
+        choice = chess_engine.choose_plan(wq.query)
+        times = {k: v.elapsed for k, v in results.items()}
+        chosen_total += times[choice.kind]
+        best_total += min(times.values())
+    assert chosen_total <= 2.0 * best_total + 0.05
+
+
+def test_localized_rules_hidden_globally(chess_engine):
+    """The planted region patterns must be invisible to a global run at the
+    same thresholds but visible to localized queries."""
+    engine = chess_engine
+    found_flip = False
+    for value in range(engine.schema.attributes[0].cardinality):
+        from repro import LocalizedQuery
+
+        query = LocalizedQuery(
+            range_selections={0: frozenset({value})},
+            minsupp=0.4,
+            minconf=0.85,
+            item_attributes=frozenset(range(1, engine.schema.n_attributes)),
+        )
+        if find_rule_flips(engine.index, query, margin=0.1):
+            found_flip = True
+            split = compare_itemsets(engine.index, query)
+            assert split.n_fresh > 0
+            break
+    assert found_flip
+
+
+def test_batch_and_single_agree_end_to_end():
+    engine = Colarm(quest_like(n_records=300, n_categories=4, seed=17),
+                    primary_support=0.05)
+    from repro import LocalizedQuery
+
+    queries = [
+        LocalizedQuery({0: frozenset({v})}, 0.3, 0.7) for v in range(4)
+    ]
+    report = execute_batch(engine.index, queries)
+    key = lambda rs: sorted((r.antecedent, r.consequent) for r in rs)
+    for item, query in zip(report.items, queries):
+        solo = engine.query(query, plan=PlanKind.SSEV)
+        assert key(item.rules) == key(solo.rules)
+
+
+def test_engine_survives_repeated_queries(chess_engine):
+    """POQM: many online queries against one offline index."""
+    rng = np.random.default_rng(13)
+    for _ in range(10):
+        wq = random_focal_query(chess_engine.table, 0.2, 0.5, 0.9, rng)
+        outcome = chess_engine.query(wq.query)
+        assert outcome.n_rules >= 0

@@ -1,0 +1,57 @@
+"""A localized query with no range constraints IS global mining.
+
+``D^Q = D`` when every attribute admits its full domain, so localized
+rules must coincide exactly with the classic global rules from the stored
+closed itemsets — a strong end-to-end sanity invariant linking the two
+worlds.
+"""
+
+import pytest
+
+from repro import Colarm, LocalizedQuery, PlanKind
+from tests.conftest import make_random_table
+
+
+@pytest.fixture(scope="module")
+def engine():
+    table = make_random_table(seed=101, n_records=80,
+                              cardinalities=(4, 3, 3, 2))
+    return Colarm(table, primary_support=0.05)
+
+
+def rule_key(rules):
+    return sorted(
+        (r.antecedent, r.consequent, r.support_count, round(r.confidence, 12))
+        for r in rules
+    )
+
+
+@pytest.mark.parametrize("minsupp,minconf", [(0.2, 0.5), (0.4, 0.8)])
+def test_unconstrained_query_equals_global_rules(engine, minsupp, minconf):
+    query = LocalizedQuery({}, minsupp, minconf)
+    for kind in (PlanKind.SEV, PlanKind.SSEUV):
+        outcome = engine.query(query, plan=kind)
+        assert outcome.dq_size == engine.table.n_records
+        assert rule_key(outcome.rules) == rule_key(
+            engine.global_rules(minsupp, minconf)
+        )
+
+
+def test_unconstrained_query_all_mips_contained(engine):
+    """With the full domain selected, every MIP is CONTAINED (Lemma 4.5
+    applies everywhere and SS-E-U-V does zero record-level checks)."""
+    query = LocalizedQuery({}, 0.3, 0.5)
+    result = engine.query(query, plan=PlanKind.SSEUV)
+    eliminate = result.result.trace.by_name("ELIMINATE")
+    assert eliminate.input_size == 0
+    assert eliminate.detail["record_checks"] == 0
+
+
+def test_single_full_domain_selection_is_also_global(engine):
+    """Selecting an attribute's entire domain changes nothing."""
+    card = engine.schema.attributes[0].cardinality
+    query = LocalizedQuery({0: frozenset(range(card))}, 0.3, 0.5)
+    outcome = engine.query(query, plan=PlanKind.SEV)
+    unconstrained = engine.query(LocalizedQuery({}, 0.3, 0.5),
+                                 plan=PlanKind.SEV)
+    assert rule_key(outcome.rules) == rule_key(unconstrained.rules)

@@ -1,0 +1,104 @@
+"""Apriori against hand-checked cases and brute-force enumeration."""
+
+import itertools
+
+import pytest
+
+from repro import tidset as ts
+from repro.dataset.schema import Item
+from repro.errors import DataError
+from repro.itemsets.apriori import apriori, min_count_for
+from tests.conftest import make_random_table
+
+
+def brute_force_frequent(table, minsupp, max_length=None):
+    """Enumerate every itemset by exhaustive search (small tables only)."""
+    min_count = min_count_for(minsupp, table.n_records)
+    items = sorted(table.item_tidsets())
+    out = {}
+    max_k = max_length or table.n_attributes
+    for k in range(1, max_k + 1):
+        for combo in itertools.combinations(items, k):
+            attrs = [i.attribute for i in combo]
+            if len(set(attrs)) != len(attrs):
+                continue
+            mask = table.itemset_tidset(combo)
+            if ts.count(mask) >= min_count:
+                out[tuple(combo)] = mask
+    return out
+
+
+def test_min_count_for():
+    assert min_count_for(0.5, 10) == 5
+    assert min_count_for(0.45, 11) == 5  # ceil(4.95)
+    assert min_count_for(0.0, 10) == 1   # empty support never frequent
+    assert min_count_for(1.0, 7) == 7
+    with pytest.raises(DataError):
+        min_count_for(1.5, 10)
+
+
+def test_apriori_salary_level1(salary):
+    result = apriori(salary.item_tidsets(), salary.n_records, 0.5)
+    singletons = [f for f in result if len(f.items) == 1]
+    # Items with count >= 6/11: Gender=F (7), Age=20-30 (6), Salary=90K-120K (8)
+    assert len(singletons) == 3
+
+
+def test_apriori_matches_brute_force(salary):
+    for minsupp in (0.2, 0.35, 0.5):
+        expected = brute_force_frequent(salary, minsupp)
+        got = {f.items: f.tidset for f in
+               apriori(salary.item_tidsets(), salary.n_records, minsupp)}
+        assert got == expected, minsupp
+
+
+def test_apriori_on_random_tables():
+    for seed in range(3):
+        table = make_random_table(seed, n_records=40)
+        expected = brute_force_frequent(table, 0.2)
+        got = {f.items: f.tidset for f in
+               apriori(table.item_tidsets(), table.n_records, 0.2)}
+        assert got == expected
+
+
+def test_apriori_max_length(salary):
+    result = apriori(salary.item_tidsets(), salary.n_records, 0.2, max_length=2)
+    assert max(len(f.items) for f in result) == 2
+    expected = brute_force_frequent(salary, 0.2, max_length=2)
+    assert {f.items for f in result} == set(expected)
+
+
+def test_apriori_output_is_sorted(salary):
+    result = apriori(salary.item_tidsets(), salary.n_records, 0.3)
+    keys = [(len(f.items), f.items) for f in result]
+    assert keys == sorted(keys)
+
+
+def test_apriori_respects_relational_constraint(salary):
+    result = apriori(salary.item_tidsets(), salary.n_records, 0.1)
+    for f in result:
+        attrs = [i.attribute for i in f.items]
+        assert len(set(attrs)) == len(attrs)
+
+
+def test_apriori_support_counts_are_exact(salary):
+    for f in apriori(salary.item_tidsets(), salary.n_records, 0.3):
+        assert f.support_count == salary.support_count(f.items)
+        assert f.support(salary.n_records) == pytest.approx(
+            salary.support(f.items)
+        )
+
+
+def test_apriori_nothing_frequent():
+    table = make_random_table(1, n_records=30)
+    result = apriori(table.item_tidsets(), table.n_records, 1.0)
+    # Only items present in every record can qualify (usually none).
+    for f in result:
+        assert f.support_count == table.n_records
+
+
+def test_frequent_itemset_support_on_empty_universe():
+    from repro.itemsets.apriori import FrequentItemset
+
+    f = FrequentItemset(items=(Item(0, 0),), tidset=ts.EMPTY)
+    assert f.support(0) == 0.0

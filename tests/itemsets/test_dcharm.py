@@ -1,0 +1,40 @@
+"""dCHARM must produce byte-identical output to tidset CHARM."""
+
+from repro.itemsets.charm import charm
+from repro.itemsets.dcharm import dcharm
+from tests.conftest import make_random_table
+
+
+def assert_same(table, minsupp):
+    a = charm(table.item_tidsets(), table.n_records, minsupp)
+    d = dcharm(table.item_tidsets(), table.n_records, minsupp)
+    assert [(c.items, c.tidset) for c in a] == [(c.items, c.tidset) for c in d]
+
+
+def test_dcharm_equals_charm_on_salary(salary):
+    for minsupp in (0.15, 0.3, 0.5, 0.8):
+        assert_same(salary, minsupp)
+
+
+def test_dcharm_on_random_tables():
+    for seed in range(6):
+        table = make_random_table(seed, n_records=60)
+        assert_same(table, 0.15)
+
+
+def test_dcharm_on_dense_data():
+    """Diffsets exist for dense data — exercise that regime explicitly."""
+    from repro.dataset.synthetic import chess_like
+
+    table = chess_like(n_records=300, seed=3)
+    assert_same(table, 0.3)
+    assert_same(table, 0.15)
+
+
+def test_dcharm_high_threshold_empty(salary):
+    assert dcharm(salary.item_tidsets(), salary.n_records, 0.99) == []
+
+
+def test_dcharm_supports_are_exact(salary):
+    for cfi in dcharm(salary.item_tidsets(), salary.n_records, 0.2):
+        assert cfi.support_count == salary.support_count(cfi.items)

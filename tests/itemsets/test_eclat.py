@@ -1,0 +1,31 @@
+"""Eclat must agree exactly with Apriori (same contract, same output)."""
+
+from repro.itemsets.apriori import apriori
+from repro.itemsets.eclat import eclat
+from tests.conftest import make_random_table
+
+
+def assert_same(table, minsupp, max_length=None):
+    a = apriori(table.item_tidsets(), table.n_records, minsupp, max_length)
+    e = eclat(table.item_tidsets(), table.n_records, minsupp, max_length)
+    assert [(f.items, f.tidset) for f in a] == [(f.items, f.tidset) for f in e]
+
+
+def test_eclat_equals_apriori_on_salary(salary):
+    for minsupp in (0.15, 0.3, 0.5, 0.8):
+        assert_same(salary, minsupp)
+
+
+def test_eclat_equals_apriori_on_random_tables():
+    for seed in range(5):
+        table = make_random_table(seed, n_records=50)
+        assert_same(table, 0.2)
+
+
+def test_eclat_max_length(salary):
+    assert_same(salary, 0.2, max_length=2)
+    assert_same(salary, 0.2, max_length=1)
+
+
+def test_eclat_high_threshold_empty(salary):
+    assert eclat(salary.item_tidsets(), salary.n_records, 0.99) == []

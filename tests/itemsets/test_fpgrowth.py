@@ -1,0 +1,44 @@
+"""FP-Growth must agree exactly with Apriori/Eclat."""
+
+import pytest
+
+from repro.itemsets.apriori import apriori
+from repro.itemsets.fpgrowth import fpgrowth
+from tests.conftest import make_random_table
+
+
+def assert_same(table, minsupp, max_length=None):
+    a = apriori(table.item_tidsets(), table.n_records, minsupp, max_length)
+    f = fpgrowth(table.item_tidsets(), table.n_records, minsupp, max_length)
+    assert [(x.items, x.tidset) for x in a] == [(x.items, x.tidset) for x in f]
+
+
+def test_fpgrowth_equals_apriori_on_salary(salary):
+    for minsupp in (0.15, 0.3, 0.5, 0.8):
+        assert_same(salary, minsupp)
+
+
+def test_fpgrowth_on_random_tables():
+    for seed in range(5):
+        table = make_random_table(seed, n_records=50)
+        assert_same(table, 0.2)
+
+
+def test_fpgrowth_low_threshold():
+    table = make_random_table(9, n_records=25, cardinalities=(2, 3, 2))
+    assert_same(table, 0.05)
+
+
+def test_fpgrowth_max_length(salary):
+    assert_same(salary, 0.2, max_length=2)
+    assert_same(salary, 0.2, max_length=1)
+
+
+def test_fpgrowth_high_threshold_empty(salary):
+    assert fpgrowth(salary.item_tidsets(), salary.n_records, 0.99) == []
+
+
+@pytest.mark.parametrize("minsupp", [0.1, 0.4])
+def test_fpgrowth_supports_are_exact(salary, minsupp):
+    for f in fpgrowth(salary.item_tidsets(), salary.n_records, minsupp):
+        assert f.support_count == salary.support_count(f.items)

@@ -1,0 +1,62 @@
+"""Itemset canonicalization and the one-value-per-attribute invariant."""
+
+import pytest
+
+from repro.dataset.schema import Item
+from repro.errors import DataError
+from repro.itemsets.itemset import (
+    attributes_of,
+    is_subset_itemset,
+    make_itemset,
+    proper_subsets,
+    union_itemsets,
+)
+
+
+def test_make_itemset_sorts_and_dedupes():
+    items = [Item(1, 0), Item(0, 2), Item(1, 0)]
+    assert make_itemset(items) == (Item(0, 2), Item(1, 0))
+
+
+def test_make_itemset_rejects_conflicting_values():
+    with pytest.raises(DataError):
+        make_itemset([Item(0, 1), Item(0, 2)])
+
+
+def test_empty_itemset():
+    assert make_itemset([]) == ()
+
+
+def test_union():
+    a = make_itemset([Item(0, 1)])
+    b = make_itemset([Item(1, 0)])
+    assert union_itemsets(a, b) == (Item(0, 1), Item(1, 0))
+    with pytest.raises(DataError):
+        union_itemsets(a, make_itemset([Item(0, 2)]))
+
+
+def test_subset_relation():
+    small = make_itemset([Item(0, 1)])
+    big = make_itemset([Item(0, 1), Item(2, 0)])
+    assert is_subset_itemset(small, big)
+    assert not is_subset_itemset(big, small)
+    assert is_subset_itemset((), small)
+
+
+def test_attributes_of():
+    itemset = make_itemset([Item(0, 1), Item(3, 2)])
+    assert attributes_of(itemset) == frozenset({0, 3})
+
+
+def test_proper_subsets_counts():
+    itemset = make_itemset([Item(0, 0), Item(1, 0), Item(2, 0)])
+    subsets = proper_subsets(itemset)
+    assert len(subsets) == 6  # 2^3 - 2
+    assert all(0 < len(s) < 3 for s in subsets)
+    # ordered by length then lexicographically
+    assert [len(s) for s in subsets] == [1, 1, 1, 2, 2, 2]
+
+
+def test_proper_subsets_of_pair():
+    itemset = make_itemset([Item(0, 0), Item(1, 1)])
+    assert proper_subsets(itemset) == [(Item(0, 0),), (Item(1, 1),)]

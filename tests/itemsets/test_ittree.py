@@ -1,0 +1,105 @@
+"""Closed IT-tree: closure lookup, levels, local support counts."""
+
+import pytest
+
+from repro import tidset as ts
+from repro.errors import IndexError_
+from repro.itemsets.apriori import apriori
+from repro.itemsets.charm import charm
+from repro.itemsets.ittree import ClosedITTree
+from tests.conftest import make_random_table
+
+
+@pytest.fixture()
+def salary_tree(salary):
+    closed = charm(salary.item_tidsets(), salary.n_records, 0.15)
+    return ClosedITTree(closed), closed
+
+
+def test_len_and_iteration(salary_tree):
+    tree, closed = salary_tree
+    assert len(tree) == len(closed)
+    assert list(tree) == list(closed)
+
+
+def test_levels_follow_lemma_4_3(salary_tree):
+    """Lemma 4.3: an itemset's level equals its number of singleton items."""
+    tree, closed = salary_tree
+    levels = tree.levels()
+    assert sum(levels.values()) == len(closed)
+    for level, members in levels.items():
+        assert len(tree.at_level(level)) == members
+        assert all(c.length == level for c in tree.at_level(level))
+    assert tree.height == max(c.length for c in closed)
+
+
+def test_get_exact(salary_tree):
+    tree, closed = salary_tree
+    for cfi in closed:
+        assert tree.get(cfi.items) is cfi
+
+
+def test_closure_of_every_frequent_itemset(salary):
+    """closure lookup returns the exact tidset of any floor-covered itemset."""
+    closed = charm(salary.item_tidsets(), salary.n_records, 0.15)
+    tree = ClosedITTree(closed)
+    for f in apriori(salary.item_tidsets(), salary.n_records, 0.15):
+        closure = tree.closure_of(f.items)
+        assert closure is not None
+        assert closure.tidset == f.tidset
+        assert set(f.items) <= set(closure.items)
+        assert tree.support_count_of(f.items) == f.support_count
+
+
+def test_closure_below_floor_is_none(salary):
+    closed = charm(salary.item_tidsets(), salary.n_records, 0.4)
+    tree = ClosedITTree(closed)
+    # An itemset with support below the floor has no stored superset.
+    rare = (salary.schema.item("Company", "Facebook"),
+            salary.schema.item("Age", "20-30"))
+    assert salary.support(rare) < 0.4
+    assert tree.closure_of(rare) is None
+    assert tree.support_count_of(rare) is None
+    assert tree.local_support_count(rare, ts.full(11)) is None
+
+
+def test_closure_of_empty_is_none(salary_tree):
+    tree, _ = salary_tree
+    assert tree.closure_of(()) is None
+
+
+def test_local_support_count(salary):
+    closed = charm(salary.item_tidsets(), salary.n_records, 0.15)
+    tree = ClosedITTree(closed)
+    loc = salary.schema.attribute_index("Location")
+    seattle = salary.schema.attributes[loc].value_index("Seattle")
+    dq = salary.tids_matching({loc: {seattle}})
+    a1 = salary.schema.item("Age", "30-40")
+    s2 = salary.schema.item("Salary", "90K-120K")
+    assert tree.local_support_count((a1, s2), dq) == 3
+
+
+def test_rejects_duplicate_itemsets(salary):
+    closed = charm(salary.item_tidsets(), salary.n_records, 0.3)
+    with pytest.raises(IndexError_):
+        ClosedITTree(list(closed) + [closed[0]])
+
+
+def test_random_tables_closure_consistency():
+    for seed in range(3):
+        table = make_random_table(seed, n_records=40)
+        closed = charm(table.item_tidsets(), table.n_records, 0.2)
+        tree = ClosedITTree(closed)
+        for f in apriori(table.item_tidsets(), table.n_records, 0.2):
+            closure = tree.closure_of(f.items)
+            assert closure is not None and closure.tidset == f.tidset
+
+
+def test_empty_tree():
+    from repro.dataset.schema import Item
+
+    tree = ClosedITTree([])
+    assert len(tree) == 0
+    assert tree.height == 0
+    assert tree.levels() == {}
+    assert tree.closure_of([Item(0, 0)]) is None

@@ -1,0 +1,106 @@
+"""Interestingness measures: hand-computed values and invariants."""
+
+import math
+
+import pytest
+
+from repro.errors import DataError
+from repro.itemsets.measures import (
+    RuleStats,
+    all_confidence,
+    conviction,
+    cosine,
+    evaluate_all,
+    imbalance_ratio,
+    jaccard,
+    kulczynski,
+    leverage,
+    lift,
+    max_confidence,
+)
+
+
+@pytest.fixture()
+def stats():
+    # 100 records; X in 40, Y in 30, XY in 20.
+    return RuleStats(n=100, n_xy=20, n_x=40, n_y=30)
+
+
+def test_support_confidence(stats):
+    assert stats.support == pytest.approx(0.2)
+    assert stats.confidence == pytest.approx(0.5)
+
+
+def test_lift(stats):
+    assert lift(stats) == pytest.approx(20 * 100 / (40 * 30))
+
+
+def test_lift_independence():
+    s = RuleStats(n=100, n_xy=12, n_x=30, n_y=40)
+    assert lift(s) == pytest.approx(1.0)
+
+
+def test_leverage(stats):
+    assert leverage(stats) == pytest.approx(0.2 - 0.4 * 0.3)
+
+
+def test_conviction(stats):
+    assert conviction(stats) == pytest.approx(0.4 * 0.7 / 0.2)
+
+
+def test_conviction_perfect_rule():
+    s = RuleStats(n=100, n_xy=40, n_x=40, n_y=50)
+    assert conviction(s) == math.inf
+
+
+def test_cosine(stats):
+    assert cosine(stats) == pytest.approx(20 / math.sqrt(40 * 30))
+
+
+def test_kulczynski(stats):
+    assert kulczynski(stats) == pytest.approx(0.5 * (20 / 40 + 20 / 30))
+
+
+def test_max_and_all_confidence(stats):
+    assert max_confidence(stats) == pytest.approx(20 / 30)
+    assert all_confidence(stats) == pytest.approx(20 / 40)
+
+
+def test_jaccard(stats):
+    assert jaccard(stats) == pytest.approx(20 / 50)
+
+
+def test_imbalance_ratio(stats):
+    assert imbalance_ratio(stats) == pytest.approx(10 / 50)
+
+
+def test_null_invariance():
+    """Null-invariant measures ignore records containing neither X nor Y."""
+    base = RuleStats(n=100, n_xy=20, n_x=40, n_y=30)
+    padded = RuleStats(n=100000, n_xy=20, n_x=40, n_y=30)
+    for measure in (cosine, kulczynski, max_confidence, all_confidence, jaccard):
+        assert measure(base) == pytest.approx(measure(padded)), measure.__name__
+    # ... while lift and leverage are NOT null-invariant.
+    assert lift(base) != pytest.approx(lift(padded))
+
+
+def test_evaluate_all_keys(stats):
+    result = evaluate_all(stats)
+    assert set(result) == {
+        "support", "confidence", "lift", "leverage", "conviction", "cosine",
+        "kulczynski", "max_confidence", "all_confidence", "jaccard",
+        "imbalance_ratio",
+    }
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n=100, n_xy=50, n_x=40, n_y=60),   # n_xy > n_x
+        dict(n=100, n_xy=10, n_x=400, n_y=30),  # marginal > n
+        dict(n=0, n_xy=0, n_x=0, n_y=0),        # empty universe
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(DataError):
+        RuleStats(**kwargs)

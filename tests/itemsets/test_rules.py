@@ -1,0 +1,141 @@
+"""Rule generation: exactness vs brute force, confidence pruning, dedup."""
+
+import itertools
+
+import pytest
+
+from repro.dataset.schema import Item
+from repro.errors import DataError
+from repro.itemsets.itemset import make_itemset
+from repro.itemsets.rules import Rule, generate_rules, rules_from_itemsets
+from tests.conftest import make_random_table
+
+
+def table_support_fn(table):
+    def fn(items):
+        return table.support_count(items)
+    return fn
+
+
+def brute_force_rules(table, itemset, minconf):
+    """Every antecedent split checked by direct counting."""
+    n = len(itemset)
+    total = table.support_count(itemset)
+    out = set()
+    for r in range(1, n):
+        for antecedent in itertools.combinations(itemset, r):
+            consequent = tuple(i for i in itemset if i not in antecedent)
+            conf = total / table.support_count(antecedent)
+            if conf >= minconf:
+                out.add((tuple(antecedent), consequent))
+    return out
+
+
+@pytest.mark.parametrize("minconf", [0.0, 0.5, 0.8, 1.0])
+def test_generate_rules_matches_brute_force(salary, minconf):
+    itemsets = [
+        make_itemset([salary.schema.item("Age", "20-30"),
+                      salary.schema.item("Salary", "90K-120K")]),
+        make_itemset([salary.schema.item("Location", "Seattle"),
+                      salary.schema.item("Gender", "F"),
+                      salary.schema.item("Salary", "90K-120K")]),
+        make_itemset([salary.schema.item("Company", "Google"),
+                      salary.schema.item("Location", "Boston"),
+                      salary.schema.item("Age", "20-30"),
+                      salary.schema.item("Salary", "90K-120K")]),
+    ]
+    fn = table_support_fn(salary)
+    for itemset in itemsets:
+        got = {(r.antecedent, r.consequent)
+               for r in generate_rules(itemset, fn, salary.n_records, minconf)}
+        assert got == brute_force_rules(salary, itemset, minconf)
+
+
+def test_generate_rules_on_random_tables():
+    for seed in range(3):
+        table = make_random_table(seed, n_records=40)
+        fn = table_support_fn(table)
+        itemset = make_itemset([Item(0, 0), Item(1, 0), Item(2, 0)])
+        if table.support_count(itemset) == 0:
+            continue
+        got = {(r.antecedent, r.consequent)
+               for r in generate_rules(itemset, fn, table.n_records, 0.3)}
+        assert got == brute_force_rules(table, itemset, 0.3)
+
+
+def test_rule_stats_are_exact(salary):
+    itemset = make_itemset([salary.schema.item("Age", "20-30"),
+                            salary.schema.item("Salary", "90K-120K")])
+    fn = table_support_fn(salary)
+    rules = generate_rules(itemset, fn, salary.n_records, 0.0)
+    for rule in rules:
+        assert rule.support_count == salary.support_count(itemset)
+        assert rule.support == pytest.approx(salary.support(itemset))
+        assert rule.confidence == pytest.approx(
+            salary.support_count(itemset)
+            / salary.support_count(rule.antecedent)
+        )
+        assert rule.items == itemset
+
+
+def test_singleton_itemset_yields_no_rules(salary):
+    fn = table_support_fn(salary)
+    itemset = make_itemset([salary.schema.item("Gender", "F")])
+    assert generate_rules(itemset, fn, salary.n_records, 0.0) == []
+
+
+def test_unsupported_itemset_yields_no_rules(salary):
+    fn = table_support_fn(salary)
+    itemset = make_itemset([salary.schema.item("Company", "Facebook"),
+                            salary.schema.item("Location", "Boston")])
+    assert salary.support_count(itemset) == 0
+    assert generate_rules(itemset, fn, salary.n_records, 0.0) == []
+
+
+def test_none_support_skips(salary):
+    itemset = make_itemset([salary.schema.item("Age", "20-30"),
+                            salary.schema.item("Salary", "90K-120K")])
+    assert generate_rules(itemset, lambda items: None, 11, 0.5) == []
+
+
+def test_bad_minconf_rejected(salary):
+    fn = table_support_fn(salary)
+    itemset = make_itemset([salary.schema.item("Age", "20-30"),
+                            salary.schema.item("Salary", "90K-120K")])
+    with pytest.raises(DataError):
+        generate_rules(itemset, fn, salary.n_records, 1.5)
+
+
+def test_rules_from_itemsets_filters_minsupp(salary):
+    fn = table_support_fn(salary)
+    itemsets = [
+        make_itemset([salary.schema.item("Age", "20-30"),
+                      salary.schema.item("Salary", "90K-120K")]),  # 5/11
+        make_itemset([salary.schema.item("Age", "30-40"),
+                      salary.schema.item("Salary", "90K-120K")]),  # 3/11
+    ]
+    rules = rules_from_itemsets(itemsets, fn, salary.n_records, 0.4, 0.0)
+    assert all(r.items == itemsets[0] for r in rules)
+
+
+def test_rules_from_itemsets_dedupes(salary):
+    fn = table_support_fn(salary)
+    itemset = make_itemset([salary.schema.item("Age", "20-30"),
+                            salary.schema.item("Salary", "90K-120K")])
+    rules = rules_from_itemsets([itemset, itemset], fn, salary.n_records,
+                                0.1, 0.0)
+    keys = [(r.antecedent, r.consequent) for r in rules]
+    assert len(keys) == len(set(keys)) == 2
+
+
+def test_render(salary):
+    rule = Rule(
+        antecedent=(salary.schema.item("Age", "20-30"),),
+        consequent=(salary.schema.item("Salary", "90K-120K"),),
+        support_count=5,
+        support=5 / 11,
+        confidence=5 / 6,
+    )
+    text = rule.render(salary.schema)
+    assert "{Age=20-30} => {Salary=90K-120K}" in text
+    assert "supp=0.455" in text

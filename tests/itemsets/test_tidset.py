@@ -1,0 +1,68 @@
+"""Bitmask tidsets: all operations plus error paths."""
+
+import pytest
+
+from repro import tidset as ts
+
+
+def test_empty():
+    assert ts.EMPTY == 0
+    assert ts.count(ts.EMPTY) == 0
+    assert ts.to_list(ts.EMPTY) == []
+
+
+def test_from_tids_and_back():
+    mask = ts.from_tids([5, 1, 3, 1])
+    assert ts.to_list(mask) == [1, 3, 5]
+    assert ts.count(mask) == 3
+
+
+def test_from_tids_rejects_negative():
+    with pytest.raises(ValueError):
+        ts.from_tids([-1])
+
+
+def test_full():
+    assert ts.to_list(ts.full(4)) == [0, 1, 2, 3]
+    assert ts.full(0) == ts.EMPTY
+    with pytest.raises(ValueError):
+        ts.full(-1)
+
+
+def test_singleton():
+    assert ts.to_list(ts.singleton(7)) == [7]
+    with pytest.raises(ValueError):
+        ts.singleton(-2)
+
+
+def test_contains():
+    mask = ts.from_tids([0, 64, 100])
+    assert ts.contains(mask, 64)
+    assert not ts.contains(mask, 63)
+
+
+def test_set_algebra():
+    a = ts.from_tids([1, 2, 3])
+    b = ts.from_tids([3, 4])
+    assert ts.to_list(ts.intersect(a, b)) == [3]
+    assert ts.to_list(ts.union(a, b)) == [1, 2, 3, 4]
+    assert ts.to_list(ts.difference(a, b)) == [1, 2]
+
+
+def test_is_subset():
+    a = ts.from_tids([1, 3])
+    b = ts.from_tids([1, 2, 3])
+    assert ts.is_subset(a, b)
+    assert not ts.is_subset(b, a)
+    assert ts.is_subset(ts.EMPTY, a)
+
+
+def test_iter_tids_order_and_large():
+    mask = ts.from_tids([200, 0, 63, 64])
+    assert list(ts.iter_tids(mask)) == [0, 63, 64, 200]
+
+
+def test_iter_is_lazy_over_members_only():
+    # A single very high bit iterates in one step.
+    mask = ts.singleton(10_000)
+    assert list(ts.iter_tids(mask)) == [10_000]

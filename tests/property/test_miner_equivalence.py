@@ -1,0 +1,62 @@
+"""Property tests: the three miners agree on random relational tables."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tidset as ts
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import RelationalTable
+from repro.itemsets.apriori import apriori
+from repro.itemsets.charm import charm
+from repro.itemsets.eclat import eclat
+from repro.itemsets.itemset import is_subset_itemset
+
+
+@st.composite
+def tables(draw):
+    n_attrs = draw(st.integers(min_value=2, max_value=4))
+    cards = [draw(st.integers(min_value=2, max_value=4)) for _ in range(n_attrs)]
+    n_records = draw(st.integers(min_value=5, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    data = np.column_stack(
+        [rng.integers(0, c, size=n_records) for c in cards]
+    ).astype(np.int32)
+    attrs = tuple(
+        Attribute(f"a{i}", tuple(f"v{v}" for v in range(c)))
+        for i, c in enumerate(cards)
+    )
+    return RelationalTable(Schema(attrs), data)
+
+
+minsupps = st.sampled_from([0.1, 0.25, 0.4, 0.6])
+
+
+@settings(max_examples=40, deadline=None)
+@given(tables(), minsupps)
+def test_apriori_equals_eclat(table, minsupp):
+    a = apriori(table.item_tidsets(), table.n_records, minsupp)
+    e = eclat(table.item_tidsets(), table.n_records, minsupp)
+    assert [(f.items, f.tidset) for f in a] == [(f.items, f.tidset) for f in e]
+
+
+@settings(max_examples=40, deadline=None)
+@given(tables(), minsupps)
+def test_charm_is_exactly_the_closures(table, minsupp):
+    frequent = apriori(table.item_tidsets(), table.n_records, minsupp)
+    closed = charm(table.item_tidsets(), table.n_records, minsupp)
+    by_tidset = {c.tidset: c for c in closed}
+    # one closed itemset per distinct frequent tidset
+    assert set(by_tidset) == {f.tidset for f in frequent}
+    assert len(by_tidset) == len(closed)
+    for f in frequent:
+        closure = by_tidset[f.tidset]
+        assert is_subset_itemset(f.items, closure.items)
+    # closedness: the closure equals the items shared by all its records
+    for cfi in closed:
+        shared = tuple(sorted(
+            item for item, mask in table.item_tidsets().items()
+            if ts.is_subset(cfi.tidset, mask)
+        ))
+        assert cfi.items == shared

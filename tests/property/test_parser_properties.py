@@ -1,0 +1,71 @@
+"""Property tests: query rendering round-trips through the parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse_query
+from repro.dataset.salary import salary_dataset
+
+SALARY = salary_dataset()
+SCHEMA = SALARY.schema
+
+
+@st.composite
+def random_queries(draw):
+    """A random well-formed query text plus its expected structure."""
+    n_range = draw(st.integers(min_value=1, max_value=3))
+    attr_idxs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=SCHEMA.n_attributes - 1),
+            min_size=n_range, max_size=n_range, unique=True,
+        )
+    )
+    ranges = {}
+    clauses = []
+    for ai in attr_idxs:
+        attr = SCHEMA.attributes[ai]
+        values = draw(
+            st.lists(
+                st.sampled_from(range(attr.cardinality)),
+                min_size=1, max_size=attr.cardinality, unique=True,
+            )
+        )
+        ranges[ai] = frozenset(values)
+        labels = ", ".join(f'"{attr.values[v]}"' for v in values)
+        clauses.append(f"{attr.name} = ({labels})")
+    minsupp = draw(st.sampled_from([0.1, 0.25, 0.5, 0.8]))
+    minconf = draw(st.sampled_from([0.0, 0.3, 0.6, 1.0]))
+    use_items = draw(st.booleans())
+    item_clause = ""
+    item_attrs = None
+    if use_items:
+        item_idxs = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=SCHEMA.n_attributes - 1),
+                min_size=1, max_size=SCHEMA.n_attributes, unique=True,
+            )
+        )
+        item_attrs = frozenset(item_idxs)
+        names = ", ".join(SCHEMA.attributes[i].name for i in item_idxs)
+        item_clause = f"AND ITEM ATTRIBUTES {names} "
+    connector = draw(st.sampled_from([" AND ", ", "]))
+    text = (
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        f"WHERE RANGE {connector.join(clauses)} "
+        f"{item_clause}"
+        f"HAVING minsupport = {minsupp} AND minconfidence = {minconf};"
+    )
+    return text, ranges, minsupp, minconf, item_attrs
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_queries())
+def test_parse_recovers_structure(case):
+    text, ranges, minsupp, minconf, item_attrs = case
+    parsed = parse_query(text, SCHEMA)
+    assert parsed.dataset == "salary"
+    query = parsed.query
+    assert dict(query.range_selections) == ranges
+    assert query.minsupp == minsupp
+    assert query.minconf == minconf
+    assert query.item_attributes == item_attrs

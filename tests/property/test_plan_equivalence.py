@@ -1,0 +1,132 @@
+"""Property tests: plan equivalence and rule correctness on random data.
+
+The strongest end-to-end invariants of the system:
+
+* the five MIP-index plans always return identical rule sets;
+* in expanded mode, with the POQM coverage condition satisfied, the ARM
+  plan agrees byte-for-byte as well;
+* every rule any plan emits has exact support and confidence, re-verified
+  by direct counting over the focal records.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tidset as ts
+from repro.core.mipindex import build_mip_index
+from repro.core.plans import PlanKind, execute_plan
+from repro.core.query import LocalizedQuery
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import RelationalTable
+
+MIP_PLANS = (PlanKind.SEV, PlanKind.SVS, PlanKind.SSEV, PlanKind.SSVS,
+             PlanKind.SSEUV)
+
+
+@st.composite
+def scenarios(draw):
+    n_attrs = draw(st.integers(min_value=3, max_value=4))
+    cards = [draw(st.integers(min_value=2, max_value=4)) for _ in range(n_attrs)]
+    n_records = draw(st.integers(min_value=20, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    data = np.column_stack(
+        [rng.integers(0, c, size=n_records) for c in cards]
+    ).astype(np.int32)
+    attrs = tuple(
+        Attribute(f"a{i}", tuple(f"v{v}" for v in range(c)))
+        for i, c in enumerate(cards)
+    )
+    table = RelationalTable(Schema(attrs), data)
+
+    n_range = draw(st.integers(min_value=1, max_value=2))
+    range_attrs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_attrs - 1),
+            min_size=n_range, max_size=n_range, unique=True,
+        )
+    )
+    selections = {}
+    for ai in range_attrs:
+        values = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=cards[ai] - 1),
+                min_size=1, max_size=cards[ai],
+            )
+        )
+        selections[ai] = frozenset(values)
+    minsupp = draw(st.sampled_from([0.3, 0.45, 0.6]))
+    minconf = draw(st.sampled_from([0.5, 0.75, 0.9]))
+    use_aitem = draw(st.booleans())
+    item_attributes = None
+    if use_aitem:
+        item_attributes = frozenset(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=n_attrs - 1),
+                    min_size=2, max_size=n_attrs,
+                )
+            )
+        )
+    query = LocalizedQuery(
+        range_selections=selections,
+        minsupp=minsupp,
+        minconf=minconf,
+        item_attributes=item_attributes,
+    )
+    return table, query
+
+
+def rule_key(rules):
+    return sorted(
+        (r.antecedent, r.consequent, r.support_count, round(r.confidence, 12))
+        for r in rules
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenarios())
+def test_mip_plans_identical_and_rules_exact(scenario):
+    table, query = scenario
+    dq = table.tids_matching(query.range_selections)
+    if not dq:
+        return  # empty focal subsets are rejected; nothing to compare
+    index = build_mip_index(table, primary_support=0.05)
+    results = {k: execute_plan(k, index, query) for k in MIP_PLANS}
+    base = rule_key(results[PlanKind.SEV].rules)
+    for kind in MIP_PLANS[1:]:
+        assert rule_key(results[kind].rules) == base, kind
+
+    dq_size = ts.count(dq)
+    min_count = -(-int(query.minsupp * dq_size) // 1)
+    for rule in results[PlanKind.SEV].rules:
+        items_count = ts.count(table.itemset_tidset(rule.items) & dq)
+        ante_count = ts.count(table.itemset_tidset(rule.antecedent) & dq)
+        assert rule.support_count == items_count
+        assert items_count / dq_size >= query.minsupp - 1e-9
+        assert abs(rule.confidence - items_count / ante_count) < 1e-9
+        assert rule.confidence >= query.minconf - 1e-9
+        if query.item_attributes is not None:
+            assert all(
+                i.attribute in query.item_attributes for i in rule.items
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenarios())
+def test_expanded_mode_all_six_plans_agree(scenario):
+    table, query = scenario
+    dq = table.tids_matching(query.range_selections)
+    if not dq:
+        return
+    # POQM coverage: primary floor below minsupp * |D^Q| / |D|.
+    floor = query.minsupp * ts.count(dq) / table.n_records
+    primary = min(0.05, floor * 0.9)
+    if primary <= 0:
+        return
+    index = build_mip_index(table, primary_support=primary)
+    results = {k: execute_plan(k, index, query, expand=True) for k in PlanKind}
+    base = rule_key(results[PlanKind.SEV].rules)
+    for kind in PlanKind:
+        assert rule_key(results[kind].rules) == base, kind

@@ -1,0 +1,86 @@
+"""Property tests: R-tree variants agree with brute-force range search."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import Rect
+from repro.rtree.packing import pack_hilbert, pack_str
+from repro.rtree.rtree import RTree
+
+CARDS = (6, 5, 7)
+
+
+@st.composite
+def rect_sets(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=0, max_value=120))
+    rng = random.Random(seed)
+    items = []
+    for k in range(n):
+        lows = tuple(rng.randrange(c) for c in CARDS)
+        highs = tuple(
+            min(c - 1, lo + rng.randrange(3)) for lo, c in zip(lows, CARDS)
+        )
+        items.append((Rect(lows, highs), k, rng.randrange(1, 40)))
+    queries = []
+    for _ in range(5):
+        lows = tuple(rng.randrange(c) for c in CARDS)
+        highs = tuple(
+            min(c - 1, lo + rng.randrange(4)) for lo, c in zip(lows, CARDS)
+        )
+        queries.append((Rect(lows, highs), rng.randrange(1, 40)))
+    return items, queries
+
+
+def brute(items, query, min_count=None):
+    return sorted(
+        pid for rect, pid, cnt in items
+        if rect.intersects(query) and (min_count is None or cnt >= min_count)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(rect_sets(), st.sampled_from([3, 8]))
+def test_dynamic_tree_matches_brute_force(data, max_entries):
+    items, queries = data
+    tree = RTree(n_dims=3, max_entries=max_entries)
+    for rect, pid, cnt in items:
+        tree.insert(rect, pid, cnt)
+    for query, mc in queries:
+        assert sorted(e.payload for e in tree.search(query).entries) == \
+            brute(items, query)
+        assert sorted(
+            e.payload for e in tree.search(query, min_count=mc).entries
+        ) == brute(items, query, mc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rect_sets(), st.sampled_from(["hilbert", "str"]))
+def test_packed_tree_matches_brute_force(data, method):
+    items, queries = data
+    packer = pack_hilbert if method == "hilbert" else pack_str
+    tree = packer(3, items, max_entries=8)
+    for query, mc in queries:
+        assert sorted(e.payload for e in tree.search(query).entries) == \
+            brute(items, query)
+        assert sorted(
+            e.payload for e in tree.search(query, min_count=mc).entries
+        ) == brute(items, query, mc)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rect_sets())
+def test_insert_then_delete_half(data):
+    items, queries = data
+    tree = RTree(n_dims=3, max_entries=4)
+    for rect, pid, cnt in items:
+        tree.insert(rect, pid, cnt)
+    keep = items[len(items) // 2:]
+    for rect, pid, _ in items[: len(items) // 2]:
+        assert tree.delete(rect, pid)
+    assert len(tree) == len(keep)
+    for query, _ in queries:
+        assert sorted(e.payload for e in tree.search(query).entries) == \
+            brute(keep, query)

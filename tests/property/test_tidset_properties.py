@@ -1,0 +1,35 @@
+"""Property tests: bitmask tidsets behave exactly like Python sets."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import tidset as ts
+
+tid_sets = st.sets(st.integers(min_value=0, max_value=300), max_size=60)
+
+
+@given(tid_sets)
+def test_roundtrip(tids):
+    assert set(ts.iter_tids(ts.from_tids(tids))) == tids
+    assert ts.count(ts.from_tids(tids)) == len(tids)
+
+
+@given(tid_sets, tid_sets)
+def test_algebra_matches_sets(a, b):
+    ma, mb = ts.from_tids(a), ts.from_tids(b)
+    assert set(ts.iter_tids(ts.intersect(ma, mb))) == a & b
+    assert set(ts.iter_tids(ts.union(ma, mb))) == a | b
+    assert set(ts.iter_tids(ts.difference(ma, mb))) == a - b
+    assert ts.is_subset(ma, mb) == (a <= b)
+
+
+@given(tid_sets, st.integers(min_value=0, max_value=300))
+def test_contains(tids, probe):
+    assert ts.contains(ts.from_tids(tids), probe) == (probe in tids)
+
+
+@given(st.integers(min_value=0, max_value=200))
+def test_full_has_every_tid(n):
+    mask = ts.full(n)
+    assert ts.count(mask) == n
+    assert ts.to_list(mask) == list(range(n))

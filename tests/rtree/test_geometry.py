@@ -1,0 +1,76 @@
+"""n-dimensional rectangle geometry."""
+
+import pytest
+
+from repro.errors import DataError
+from repro.rtree.geometry import Rect, mbr_of
+
+
+def test_construction_and_shape():
+    r = Rect((0, 1), (2, 3))
+    assert r.n_dims == 2
+    assert r.extents() == (3, 3)
+    assert r.extent(0) == 3
+    assert r.area() == 9
+    assert r.margin() == 6
+    assert r.center() == (1.0, 2.0)
+
+
+def test_point_and_full_domain():
+    p = Rect.point((2, 5))
+    assert p.lows == p.highs == (2, 5)
+    assert p.area() == 1
+    full = Rect.full_domain((3, 4))
+    assert full == Rect((0, 0), (2, 3))
+
+
+def test_validation():
+    with pytest.raises(DataError):
+        Rect((2,), (1,))
+    with pytest.raises(DataError):
+        Rect((0, 0), (1,))
+    with pytest.raises(DataError):
+        Rect((), ())
+
+
+def test_intersects():
+    a = Rect((0, 0), (2, 2))
+    assert a.intersects(Rect((2, 2), (4, 4)))  # closed boxes touch-intersect
+    assert a.intersects(Rect((1, 1), (1, 1)))
+    assert not a.intersects(Rect((3, 0), (4, 2)))
+
+
+def test_contains():
+    outer = Rect((0, 0), (5, 5))
+    assert outer.contains(Rect((1, 1), (4, 4)))
+    assert outer.contains(outer)
+    assert not outer.contains(Rect((1, 1), (6, 4)))
+    assert outer.contains_point((5, 5))
+    assert not outer.contains_point((6, 0))
+
+
+def test_union_and_intersection():
+    a = Rect((0, 0), (2, 2))
+    b = Rect((1, 1), (4, 3))
+    assert a.union(b) == Rect((0, 0), (4, 3))
+    assert a.intersection(b) == Rect((1, 1), (2, 2))
+    assert a.intersection(Rect((3, 3), (4, 4))) is None
+
+
+def test_enlargement():
+    a = Rect((0, 0), (1, 1))       # area 4
+    b = Rect((2, 0), (2, 1))       # needs growth to (0..2, 0..1), area 6
+    assert a.enlargement(b) == 2
+    assert a.enlargement(a) == 0
+
+
+def test_dimension_mismatch():
+    with pytest.raises(DataError):
+        Rect((0,), (1,)).intersects(Rect((0, 0), (1, 1)))
+
+
+def test_mbr_of():
+    rects = [Rect((0, 3), (1, 4)), Rect((2, 0), (3, 1))]
+    assert mbr_of(rects) == Rect((0, 0), (3, 4))
+    with pytest.raises(DataError):
+        mbr_of([])

@@ -1,0 +1,55 @@
+"""Hilbert curve: bijectivity, range, and locality."""
+
+import itertools
+
+import pytest
+
+from repro.errors import DataError
+from repro.rtree.hilbert import bits_needed, hilbert_index
+
+
+def test_bits_needed():
+    assert bits_needed(0) == 1
+    assert bits_needed(1) == 1
+    assert bits_needed(2) == 2
+    assert bits_needed(255) == 8
+    with pytest.raises(DataError):
+        bits_needed(-1)
+
+
+@pytest.mark.parametrize("n_dims,bits", [(1, 4), (2, 3), (3, 2)])
+def test_bijective(n_dims, bits):
+    """Every grid point maps to a distinct index within the curve's range."""
+    side = 1 << bits
+    seen = set()
+    for coords in itertools.product(range(side), repeat=n_dims):
+        idx = hilbert_index(coords, bits)
+        assert 0 <= idx < side**n_dims
+        seen.add(idx)
+    assert len(seen) == side**n_dims
+
+
+def test_2d_locality():
+    """Consecutive indices along the curve are adjacent grid cells."""
+    bits, side = 3, 8
+    by_index = {}
+    for x in range(side):
+        for y in range(side):
+            by_index[hilbert_index((x, y), bits)] = (x, y)
+    for i in range(side * side - 1):
+        (x0, y0), (x1, y1) = by_index[i], by_index[i + 1]
+        assert abs(x0 - x1) + abs(y0 - y1) == 1  # Manhattan-adjacent
+
+
+def test_rejects_out_of_range():
+    with pytest.raises(DataError):
+        hilbert_index((4,), bits=2)
+    with pytest.raises(DataError):
+        hilbert_index((-1, 0), bits=2)
+    with pytest.raises(DataError):
+        hilbert_index((), bits=2)
+
+
+def test_1d_is_identity():
+    for v in range(16):
+        assert hilbert_index((v,), bits=4) == v

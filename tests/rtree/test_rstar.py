@@ -1,0 +1,90 @@
+"""R*-tree: correctness against brute force, invariants, quality."""
+
+import random
+
+import pytest
+
+from repro.rtree.geometry import Rect
+from repro.rtree.rstar import RStarTree
+from repro.rtree.rtree import RTree
+from tests.rtree.test_rtree import brute, random_items, random_query
+
+
+@pytest.fixture()
+def loaded():
+    rng = random.Random(17)
+    items = random_items(rng, 300)
+    tree = RStarTree(n_dims=3, max_entries=6)
+    for rect, pid, cnt in items:
+        tree.insert(rect, pid, cnt)
+    return tree, items, rng
+
+
+def test_search_matches_brute_force(loaded):
+    tree, items, rng = loaded
+    assert len(tree) == len(items)
+    for _ in range(60):
+        q = random_query(rng)
+        got = sorted(e.payload for e in tree.search(q).entries)
+        assert got == brute(items, q)
+
+
+def test_supported_search(loaded):
+    tree, items, rng = loaded
+    for _ in range(40):
+        q = random_query(rng)
+        mc = rng.randrange(1, 50)
+        got = sorted(e.payload for e in tree.search(q, min_count=mc).entries)
+        assert got == brute(items, q, mc)
+
+
+def test_structure_invariants(loaded):
+    tree, _, _ = loaded
+    stack = [(tree.root, True)]
+    while stack:
+        node, is_root = stack.pop()
+        assert len(node.entries) <= tree.max_entries
+        if not is_root:
+            assert len(node.entries) >= tree.min_entries
+        if not node.is_leaf:
+            for entry in node.entries:
+                assert entry.rect == entry.child.mbr()
+                assert entry.count == entry.child.max_count()
+                stack.append((entry.child, False))
+
+
+def test_delete_inherited(loaded):
+    tree, items, _ = loaded
+    for rect, pid, _ in items[:100]:
+        assert tree.delete(rect, pid)
+    assert len(tree) == 200
+    q = Rect((0, 0, 0), (7, 5, 9))
+    got = sorted(e.payload for e in tree.search(q).entries)
+    assert got == sorted(pid for _, pid, _ in items[100:])
+
+
+def test_rstar_not_worse_than_quadratic_on_average():
+    """R* heuristics should not degrade query cost vs Guttman splits."""
+    rng = random.Random(23)
+    items = random_items(rng, 500)
+    guttman = RTree(n_dims=3, max_entries=8)
+    rstar = RStarTree(n_dims=3, max_entries=8)
+    for rect, pid, cnt in items:
+        guttman.insert(rect, pid, cnt)
+        rstar.insert(rect, pid, cnt)
+    g_nodes = r_nodes = 0
+    for _ in range(100):
+        q = random_query(rng)
+        g_nodes += guttman.search(q).nodes_visited
+        r_nodes += rstar.search(q).nodes_visited
+    assert r_nodes <= g_nodes * 1.1  # allow noise, expect improvement
+
+
+def test_small_trees():
+    tree = RStarTree(n_dims=2, max_entries=4)
+    for i in range(3):
+        tree.insert(Rect((i, i), (i, i)), i)
+    assert len(tree) == 3
+    assert tree.height == 1
+    got = sorted(e.payload for e in tree.search(Rect((0, 0), (2, 2))).entries)
+    assert got == [0, 1, 2]

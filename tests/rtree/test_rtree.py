@@ -1,0 +1,160 @@
+"""Dynamic R-tree: search/insert/delete vs brute force, invariants."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.rtree.geometry import Rect
+from repro.rtree.node import Entry, Node
+from repro.rtree.rtree import RTree
+
+
+def random_items(rng, n, cards=(8, 6, 10)):
+    items = []
+    for k in range(n):
+        lows = tuple(rng.randrange(c) for c in cards)
+        highs = tuple(
+            min(c - 1, lo + rng.randrange(3)) for lo, c in zip(lows, cards)
+        )
+        items.append((Rect(lows, highs), k, rng.randrange(1, 50)))
+    return items
+
+
+def random_query(rng, cards=(8, 6, 10)):
+    lows = tuple(rng.randrange(c) for c in cards)
+    highs = tuple(min(c - 1, lo + rng.randrange(4)) for lo, c in zip(lows, cards))
+    return Rect(lows, highs)
+
+
+def brute(items, query, min_count=None):
+    return sorted(
+        pid for rect, pid, cnt in items
+        if rect.intersects(query) and (min_count is None or cnt >= min_count)
+    )
+
+
+@pytest.fixture()
+def loaded():
+    rng = random.Random(7)
+    items = random_items(rng, 300)
+    tree = RTree(n_dims=3, max_entries=6)
+    for rect, pid, cnt in items:
+        tree.insert(rect, pid, cnt)
+    return tree, items, rng
+
+
+def test_search_matches_brute_force(loaded):
+    tree, items, rng = loaded
+    for _ in range(60):
+        q = random_query(rng)
+        got = sorted(e.payload for e in tree.search(q).entries)
+        assert got == brute(items, q)
+
+
+def test_supported_search_matches_brute_force(loaded):
+    tree, items, rng = loaded
+    for _ in range(60):
+        q = random_query(rng)
+        mc = rng.randrange(1, 50)
+        got = sorted(e.payload for e in tree.search(q, min_count=mc).entries)
+        assert got == brute(items, q, mc)
+
+
+def test_size_and_height(loaded):
+    tree, items, _ = loaded
+    assert len(tree) == len(items)
+    assert tree.height >= 3  # 300 entries at fanout 6
+    assert len(tree.all_entries()) == len(items)
+
+
+def test_node_capacity_invariant(loaded):
+    """No node overflows; non-root nodes respect the minimum fill."""
+    tree, _, _ = loaded
+    stack = [(tree.root, True)]
+    while stack:
+        node, is_root = stack.pop()
+        assert len(node.entries) <= tree.max_entries
+        if not is_root:
+            assert len(node.entries) >= tree.min_entries
+        if not node.is_leaf:
+            stack.extend((e.child, False) for e in node.entries)
+
+
+def test_mbr_invariant(loaded):
+    """Every internal entry's rect equals its child's MBR."""
+    tree, _, _ = loaded
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            continue
+        for entry in node.entries:
+            assert entry.rect == entry.child.mbr()
+            assert entry.count == entry.child.max_count()
+            stack.append(entry.child)
+
+
+def test_nodes_visited_reported(loaded):
+    tree, _, _ = loaded
+    result = tree.search(Rect((0, 0, 0), (7, 5, 9)))
+    assert result.nodes_visited >= tree.height
+
+
+def test_delete(loaded):
+    tree, items, rng = loaded
+    removed = items[:150]
+    for rect, pid, _ in removed:
+        assert tree.delete(rect, pid)
+    assert len(tree) == 150
+    q = Rect((0, 0, 0), (7, 5, 9))
+    got = sorted(e.payload for e in tree.search(q).entries)
+    assert got == sorted(pid for _, pid, _ in items[150:])
+    # deleting again fails cleanly
+    assert not tree.delete(removed[0][0], removed[0][1])
+
+
+def test_delete_everything(loaded):
+    tree, items, _ = loaded
+    for rect, pid, _ in items:
+        assert tree.delete(rect, pid)
+    assert len(tree) == 0
+    assert tree.search(Rect((0, 0, 0), (7, 5, 9))).entries == []
+
+
+def test_level_stats(loaded):
+    tree, items, _ = loaded
+    stats = tree.level_stats()
+    assert stats[0].level == 0
+    assert stats[0].n_nodes >= len(items) // tree.max_entries
+    assert sum(1 for s in stats if s.level == tree.root.level) == 1
+    for stat in stats:
+        assert len(stat.avg_extents) == 3
+        assert all(e >= 1.0 for e in stat.avg_extents)
+
+
+def test_validation():
+    with pytest.raises(IndexError_):
+        RTree(n_dims=0)
+    with pytest.raises(IndexError_):
+        RTree(n_dims=2, max_entries=1)
+    with pytest.raises(IndexError_):
+        RTree(n_dims=2, max_entries=4, min_entries=3)
+    tree = RTree(n_dims=2)
+    with pytest.raises(IndexError_):
+        tree.insert(Rect((0,), (0,)), payload=1)
+    with pytest.raises(IndexError_):
+        tree.search(Rect((0,), (0,)))
+
+
+def test_entry_validation():
+    with pytest.raises(IndexError_):
+        Entry(rect=Rect((0,), (0,)))  # neither payload nor child
+    with pytest.raises(IndexError_):
+        Entry(rect=Rect((0,), (0,)), payload=1, child=Node(level=0))
+
+
+def test_empty_node_has_no_mbr():
+    with pytest.raises(IndexError_):
+        Node(level=0).mbr()
+    assert Node(level=0).max_count() == 0

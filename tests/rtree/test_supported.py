@@ -1,0 +1,74 @@
+"""Supported R-tree: the Lemma 4.4 filter and its statistics."""
+
+import random
+
+from repro.rtree.geometry import Rect
+from repro.rtree.supported import SupportedRTree
+from tests.rtree.test_rtree import brute, random_items, random_query
+
+
+def build(seed=9, n=300, method="hilbert"):
+    rng = random.Random(seed)
+    items = random_items(rng, n)
+    return SupportedRTree.build(3, items, method=method), items, rng
+
+
+def test_search_supported_matches_brute_force():
+    tree, items, rng = build()
+    for _ in range(50):
+        q = random_query(rng)
+        mc = rng.randrange(1, 50)
+        got = sorted(e.payload for e in tree.search_supported(q, mc).entries)
+        assert got == brute(items, q, mc)
+
+
+def test_plain_search_unfiltered():
+    tree, items, rng = build()
+    q = Rect((0, 0, 0), (7, 5, 9))
+    got = sorted(e.payload for e in tree.search(q).entries)
+    assert got == brute(items, q)
+
+
+def test_filter_prunes_node_accesses():
+    """A high threshold must never visit more nodes than the plain search."""
+    tree, items, rng = build()
+    q = Rect((0, 0, 0), (7, 5, 9))
+    plain = tree.search(q).nodes_visited
+    for mc in (10, 30, 49):
+        filtered = tree.search_supported(q, mc).nodes_visited
+        assert filtered <= plain
+    # an impossible threshold reads only the root
+    assert tree.search_supported(q, 10_000).nodes_visited == 1
+    assert tree.search_supported(q, 10_000).entries == []
+
+
+def test_fraction_with_count_at_least():
+    tree, items, _ = build()
+    counts = sorted(c for _, _, c in items)
+    for threshold in (1, 25, 50, 51):
+        expected = sum(1 for c in counts if c >= threshold) / len(counts)
+        assert tree.fraction_with_count_at_least(threshold) == expected
+
+
+def test_fraction_empty_tree():
+    tree = SupportedRTree.build(2, [])
+    assert tree.fraction_with_count_at_least(1) == 0.0
+    assert len(tree) == 0
+
+
+def test_str_method_equivalent_results():
+    hil, items, rng = build(method="hilbert")
+    st, _, _ = build(method="str")
+    for _ in range(30):
+        q = random_query(rng)
+        mc = rng.randrange(1, 50)
+        a = sorted(e.payload for e in hil.search_supported(q, mc).entries)
+        b = sorted(e.payload for e in st.search_supported(q, mc).entries)
+        assert a == b
+
+
+def test_level_stats_exposed():
+    tree, _, _ = build()
+    stats = tree.level_stats()
+    assert stats and stats[0].level == 0
+    assert tree.height == max(s.level for s in stats) + 1

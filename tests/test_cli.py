@@ -1,0 +1,123 @@
+"""The colarm command-line interface, end to end through main()."""
+
+import pytest
+
+from repro.cli import main
+from repro.dataset.loaders import save_csv
+from repro.dataset.synthetic import quest_like
+
+QUERY = (
+    "REPORT LOCALIZED ASSOCIATION RULES FROM d "
+    "WHERE RANGE region = (north) "
+    "HAVING minsupport = 0.3 AND minconfidence = 0.7;"
+)
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    csv_path = root / "data.csv"
+    save_csv(quest_like(n_records=250, n_categories=4, seed=3), csv_path)
+    index_path = root / "data.colarm.npz"
+    code = main([
+        "build", str(csv_path), str(index_path),
+        "--primary-support", "0.05", "--calibrate", "3",
+    ])
+    assert code == 0
+    return csv_path, index_path
+
+
+def test_build_output(workspace, capsys):
+    # The build in the fixture already ran; rebuild to capture its message.
+    csv_path, index_path = workspace
+    code = main(["build", str(csv_path), str(index_path),
+                 "--primary-support", "0.05"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "closed frequent itemsets" in captured.out
+
+
+def test_info(workspace, capsys):
+    _, index_path = workspace
+    assert main(["info", str(index_path)]) == 0
+    out = capsys.readouterr().out
+    assert "records:" in out
+    assert "closed itemsets:" in out
+    assert "region" in out
+
+
+def test_query(workspace, capsys):
+    _, index_path = workspace
+    assert main(["query", str(index_path), QUERY]) == 0
+    out = capsys.readouterr().out
+    assert "focal subset:" in out
+    assert "=>" in out
+
+
+def test_query_forced_plan_and_expand(workspace, capsys):
+    _, index_path = workspace
+    assert main([
+        "query", str(index_path), QUERY, "--plan", "SS-E-U-V", "--expand",
+        "--limit", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "SS-E-U-V (forced)" in out
+
+
+def test_plans(workspace, capsys):
+    _, index_path = workspace
+    assert main(["plans", str(index_path), QUERY]) == 0
+    out = capsys.readouterr().out
+    for plan in ("S-E-V", "S-VS", "SS-E-V", "SS-VS", "SS-E-U-V", "ARM"):
+        assert plan in out
+    assert "optimizer" in out
+
+
+def test_explain(workspace, capsys):
+    _, index_path = workspace
+    assert main(["explain", str(index_path), QUERY]) == 0
+    out = capsys.readouterr().out
+    assert "chosen" in out
+
+
+def test_suggest(workspace, capsys):
+    _, index_path = workspace
+    assert main(["suggest", str(index_path), "--top-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "suggested minsupport" in out
+    assert "promising focal subsets" in out
+
+
+def test_error_paths(tmp_path, capsys):
+    missing = tmp_path / "missing.npz"
+    assert main(["info", str(missing)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_query_bad_text(workspace, capsys):
+    _, index_path = workspace
+    assert main(["query", str(index_path), "SELECT nonsense"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_simpson(workspace, capsys):
+    _, index_path = workspace
+    assert main(["simpson", str(index_path), QUERY, "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "EMERGING" in out and "VANISHING" in out
+    assert "global conf" in out
+
+
+def test_rank(workspace, capsys):
+    _, index_path = workspace
+    assert main(["rank", str(index_path), QUERY, "--measure", "lift",
+                 "--top-k", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "by lift" in out
+    assert "=>" in out
+
+
+def test_rank_unknown_measure(workspace, capsys):
+    _, index_path = workspace
+    assert main(["rank", str(index_path), QUERY, "--measure", "magic"]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,40 @@
+"""The exception hierarchy: everything catchable as ReproError."""
+
+import pytest
+
+from repro.errors import (
+    DataError,
+    IndexError_,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [SchemaError, DataError, QueryError, IndexError_, ParseError]
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_parse_error_is_query_error():
+    assert issubclass(ParseError, QueryError)
+
+
+def test_library_raises_catchable_errors(salary):
+    """A library misuse is always catchable with one except clause."""
+    from repro import Colarm
+
+    engine = Colarm(salary, primary_support=0.2)
+    with pytest.raises(ReproError):
+        engine.query("this is not a query")
+    with pytest.raises(ReproError):
+        engine.query(
+            "REPORT LOCALIZED ASSOCIATION RULES FROM s "
+            "WHERE RANGE Nope = (x) "
+            "HAVING minsupport = 0.5 AND minconfidence = 0.5;"
+        )

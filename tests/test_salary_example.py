@@ -1,0 +1,104 @@
+"""The paper's Table 1 numbers, asserted exactly (Section 1.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Colarm, salary_dataset
+from repro.core.plans import PlanKind
+
+
+def test_dataset_shape(salary):
+    assert salary.n_records == 11
+    assert salary.n_attributes == 6
+    assert salary.schema.names == (
+        "Company", "Title", "Location", "Gender", "Age", "Salary",
+    )
+
+
+def test_global_rule_rg(salary):
+    """R_G = (A0 -> S2): support 5/11 (~45%), confidence 5/6 (~83%)."""
+    a0 = salary.schema.item("Age", "20-30")
+    s2 = salary.schema.item("Salary", "90K-120K")
+    both = salary.support_count([a0, s2])
+    antecedent = salary.support_count([a0])
+    assert both == 5
+    assert antecedent == 6
+    assert both / salary.n_records == pytest.approx(5 / 11)
+    assert both / antecedent == pytest.approx(5 / 6)
+
+
+def test_focal_subset_seattle_females(salary):
+    """The focal subset 'female employees in Seattle' is the last 4 records."""
+    loc = salary.schema.attribute_index("Location")
+    gen = salary.schema.attribute_index("Gender")
+    seattle = salary.schema.attributes[loc].value_index("Seattle")
+    female = salary.schema.attributes[gen].value_index("F")
+    mask = salary.tids_matching({loc: {seattle}, gen: {female}})
+    from repro import tidset as ts
+    assert ts.to_list(mask) == [7, 8, 9, 10]
+
+
+def test_localized_rule_rl_via_engine(salary):
+    """R_L = (A1 -> S2) in the subset: support 75%, confidence 100%."""
+    engine = Colarm(salary, primary_support=0.15, expand=True)
+    outcome = engine.query(
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Location = (Seattle) AND Gender = (F) "
+        "HAVING minsupport = 0.5 AND minconfidence = 0.8;"
+    )
+    assert outcome.dq_size == 4
+    a1 = engine.schema.item("Age", "30-40")
+    s2 = engine.schema.item("Salary", "90K-120K")
+    matches = [
+        r for r in outcome.rules
+        if r.antecedent == (a1,) and r.consequent == (s2,)
+    ]
+    assert len(matches) == 1
+    assert matches[0].support == pytest.approx(0.75)
+    assert matches[0].confidence == pytest.approx(1.0)
+
+
+def test_rg_does_not_hold_locally(salary):
+    """The paper: 'the global rule R_G does not hold true in this subset'."""
+    engine = Colarm(salary, primary_support=0.15, expand=True)
+    outcome = engine.query(
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Location = (Seattle) AND Gender = (F) "
+        "HAVING minsupport = 0.5 AND minconfidence = 0.8;"
+    )
+    a0 = engine.schema.item("Age", "20-30")
+    s2 = engine.schema.item("Salary", "90K-120K")
+    assert not any(
+        r.antecedent == (a0,) and r.consequent == (s2,) for r in outcome.rules
+    )
+
+
+def test_all_plans_find_rl(salary):
+    engine = Colarm(salary, primary_support=0.15, expand=True)
+    a1 = engine.schema.item("Age", "30-40")
+    s2 = engine.schema.item("Salary", "90K-120K")
+    text = (
+        "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+        "WHERE RANGE Location = (Seattle) AND Gender = (F) "
+        "HAVING minsupport = 0.5 AND minconfidence = 0.8;"
+    )
+    for kind in PlanKind:
+        outcome = engine.query(text, plan=kind)
+        assert any(
+            r.antecedent == (a1,) and r.consequent == (s2,)
+            for r in outcome.rules
+        ), kind
+
+
+def test_rl_hidden_globally_at_reasonable_minsupp(salary):
+    """R_L needs global minsupport < 27% to surface in a global mining run."""
+    engine = Colarm(salary, primary_support=0.15, expand=True)
+    a1 = salary.schema.item("Age", "30-40")
+    s2 = salary.schema.item("Salary", "90K-120K")
+    # Globally the itemset {A1, S2} holds in 3/11 (~27%) of the records.
+    assert salary.support_count([a1, s2]) == 3
+    rules = engine.global_rules(minsupp=0.30, minconf=0.8)
+    assert not any(
+        r.antecedent == (a1,) and s2 in r.consequent for r in rules
+    )

@@ -1,0 +1,38 @@
+"""The Section 5 experiment specs: completeness and internal consistency."""
+
+from repro.workloads.experiments import EXPERIMENTS, FOCAL_FRACTIONS
+
+
+def test_all_three_paper_datasets_present():
+    assert set(EXPERIMENTS) == {"chess", "mushroom", "pumsb"}
+
+
+def test_focal_fractions_match_paper():
+    assert FOCAL_FRACTIONS == (0.50, 0.20, 0.10, 0.01)
+
+
+def test_grids_have_paper_shape():
+    """4 focal sizes x 3 minsupp x 3 minconf = 36 settings per dataset,
+    108 in total — the Section 5.1 accuracy experiment."""
+    total = 0
+    for spec in EXPERIMENTS.values():
+        assert len(spec.minsupps) == 3
+        assert len(spec.minconfs) == 3
+        total += len(FOCAL_FRACTIONS) * len(spec.minsupps) * len(spec.minconfs)
+    assert total == 108
+
+
+def test_specs_are_runnable():
+    for spec in EXPERIMENTS.values():
+        table = spec.make_table()
+        assert table.n_records > 0
+        assert 0 < spec.primary_support < min(spec.minsupps)
+        assert spec.fig8_thresholds == tuple(sorted(spec.fig8_thresholds,
+                                                    reverse=True))
+        assert spec.queries_per_setting() >= 1
+
+
+def test_paper_counterparts_recorded():
+    for spec in EXPERIMENTS.values():
+        assert 0 < spec.paper_primary <= 1
+        assert len(spec.paper_minsupps) == 3

@@ -1,0 +1,71 @@
+"""Workload generation: target sizes, determinism, grid structure."""
+
+import numpy as np
+import pytest
+
+from repro import tidset as ts
+from repro.dataset.synthetic import chess_like
+from repro.errors import QueryError
+from repro.workloads.queries import focal_size_workload, random_focal_query
+
+
+@pytest.fixture(scope="module")
+def table():
+    return chess_like(n_records=400, seed=7)
+
+
+def test_random_focal_query_returns_nonempty(table):
+    rng = np.random.default_rng(1)
+    wq = random_focal_query(table, 0.2, 0.4, 0.8, rng)
+    dq = table.tids_matching(wq.query.range_selections)
+    assert ts.count(dq) == wq.dq_size > 0
+    assert wq.query.minsupp == 0.4
+    assert wq.query.minconf == 0.8
+
+
+def test_random_focal_query_tracks_target(table):
+    rng = np.random.default_rng(2)
+    sizes = {frac: [] for frac in (0.5, 0.1)}
+    for frac in sizes:
+        for _ in range(8):
+            wq = random_focal_query(table, frac, 0.4, 0.8, rng)
+            sizes[frac].append(wq.dq_size)
+    # big targets should, on average, produce bigger subsets
+    assert np.mean(sizes[0.5]) > np.mean(sizes[0.1])
+
+
+def test_random_focal_query_deterministic(table):
+    a = random_focal_query(table, 0.2, 0.4, 0.8, np.random.default_rng(5))
+    b = random_focal_query(table, 0.2, 0.4, 0.8, np.random.default_rng(5))
+    assert a.query == b.query
+
+
+def test_random_focal_query_validation(table):
+    with pytest.raises(QueryError):
+        random_focal_query(table, 0.0, 0.4, 0.8, np.random.default_rng(0))
+
+
+def test_item_attributes_passed_through(table):
+    rng = np.random.default_rng(3)
+    wq = random_focal_query(
+        table, 0.2, 0.4, 0.8, rng, item_attributes=frozenset({1, 2})
+    )
+    assert wq.query.item_attributes == frozenset({1, 2})
+
+
+def test_focal_size_workload_grid(table):
+    workload = focal_size_workload(
+        table,
+        fractions=(0.5, 0.1),
+        minsupps=(0.3, 0.5),
+        minconf=0.85,
+        queries_per_setting=2,
+        seed=0,
+    )
+    assert set(workload) == {(0.5, 0.3), (0.5, 0.5), (0.1, 0.3), (0.1, 0.5)}
+    for (fraction, minsupp), queries in workload.items():
+        assert len(queries) == 2
+        for wq in queries:
+            assert wq.query.minsupp == minsupp
+            assert wq.query.minconf == 0.85
+            assert wq.target_fraction == fraction

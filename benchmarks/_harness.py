@@ -129,6 +129,8 @@ class AccuracyRecord:
     chosen: PlanKind
     fastest: PlanKind
     regret: float  # chosen time / fastest time - 1
+    chosen_s: float = 0.0   # measured time of the chosen plan (summed reps)
+    fastest_s: float = 0.0  # measured time of the fastest plan (summed reps)
 
 
 def run_accuracy(
@@ -165,6 +167,8 @@ def run_accuracy(
                         chosen=chosen,
                         fastest=fastest,
                         regret=times[chosen] / times[fastest] - 1.0,
+                        chosen_s=times[chosen],
+                        fastest_s=times[fastest],
                     )
                 )
     return records
@@ -182,10 +186,22 @@ def summarize_accuracy(records: list[AccuracyRecord],
     strict = sum(1 for r in records if r.chosen is r.fastest)
     tolerant = sum(1 for r in records if r.regret <= tie_tolerance)
     regrets = [r.regret for r in records if r.chosen is not r.fastest]
+    # The paper's Section 5.1 claim is about *extra cost* — total time the
+    # chosen plans spent beyond the oracle's total, a time-weighted
+    # aggregate.  The per-scenario relative-regret mean over-weights
+    # millisecond scenarios (a 5 ms miss against a 1 ms oracle is 4.0
+    # regret but negligible cost), and it inflates mechanically whenever
+    # plans get uniformly faster, because denominators shrink while
+    # absolute noise does not.
+    chosen_total = sum(r.chosen_s for r in records)
+    fastest_total = sum(r.fastest_s for r in records)
     return {
         "n": n,
         "strict_accuracy": strict / n if n else 0.0,
         "tolerant_accuracy": tolerant / n if n else 0.0,
         "mean_regret_when_wrong": float(np.mean(regrets)) if regrets else 0.0,
         "max_regret": max((r.regret for r in records), default=0.0),
+        "extra_cost": (
+            chosen_total / fastest_total - 1.0 if fastest_total else 0.0
+        ),
     }

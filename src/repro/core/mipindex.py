@@ -11,7 +11,11 @@ statistics the optimizer consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
+import numpy as np
+
+from repro import kernels
 from repro.core.mip import MIP
 from repro.core.stats import IndexStatistics, gather_statistics
 from repro.dataset.table import RelationalTable
@@ -42,6 +46,28 @@ class MIPIndex:
     @property
     def cardinalities(self) -> tuple[int, ...]:
         return self.table.schema.cardinalities()
+
+    @property
+    def tidset_words(self) -> int:
+        """64-bit words per packed tidset row for this index's universe."""
+        return kernels.n_words(self.table.n_records)
+
+    @cached_property
+    def mip_tidset_matrix(self) -> np.ndarray:
+        """Packed ``(n_mips, words)`` matrix of every MIP's tidset.
+
+        Row ``i`` is ``kernels.pack(mips[i].tidset)``; the ELIMINATE /
+        SUPPORTED-VERIFY qualification batches ``|t(I) ∩ D^Q|`` for all
+        candidates with one :func:`repro.kernels.and_count` call over a
+        row-gather of this matrix.  ``cached_property`` stores the matrix
+        in the instance ``__dict__`` (bypassing the frozen dataclass), so
+        indexes rebuilt by :mod:`repro.core.persistence` regain it lazily.
+        """
+        matrix = kernels.pack_many(
+            [mip.tidset for mip in self.mips], self.tidset_words
+        )
+        matrix.setflags(write=False)
+        return matrix
 
 
 def build_mip_index(
@@ -83,7 +109,7 @@ def build_mip_index(
         primary_support,
         item_tidsets=table.item_tidsets(),
     )
-    return MIPIndex(
+    index = MIPIndex(
         table=table,
         primary_support=primary_support,
         mips=mips,
@@ -91,3 +117,7 @@ def build_mip_index(
         ittree=ittree,
         stats=stats,
     )
+    # Materialize the packed MIP-tidset matrix during the offline phase so
+    # the first online query does not pay the packing cost.
+    index.mip_tidset_matrix  # noqa: B018 — intentional cache warm-up
+    return index

@@ -22,7 +22,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro import tidset as ts
+import numpy as np
+
+from repro import kernels, tidset as ts
 from repro.core.mip import MIP
 from repro.core.mipindex import MIPIndex
 from repro.core.query import FocalRange, LocalizedQuery, Overlap
@@ -96,6 +98,13 @@ class QueryContext:
     min_count: int     # ceil(minsupp * |D^Q|)
     expand: bool       # expand candidates to all locally frequent itemsets
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    _dq_packed: np.ndarray | None = field(default=None, repr=False)
+
+    def packed_dq(self) -> np.ndarray:
+        """The focal tidset as a packed kernel row (computed once)."""
+        if self._dq_packed is None:
+            self._dq_packed = kernels.pack(self.dq, self.index.tidset_words)
+        return self._dq_packed
 
     def aitem_allows(self, itemset: Itemset) -> bool:
         """Whether every item of ``itemset`` lies in the query's Aitem."""
@@ -204,6 +213,56 @@ def _search(ctx: QueryContext, name: str, min_count: int | None) -> list[Candida
 # ELIMINATE
 # ---------------------------------------------------------------------------
 
+#: Below this many candidates the batched kernel's fixed numpy overhead
+#: outweighs the per-candidate Python dispatch it saves.
+_QUALIFY_KERNEL_MIN = 4
+
+
+def _qualify_candidates(
+    ctx: QueryContext, candidates: list[Candidate]
+) -> tuple[list[Qualified], int]:
+    """The record-level minsupp qualification shared by ELIMINATE and
+    SUPPORTED-VERIFY (plus the Aitem filter).
+
+    Candidates passing the Aitem filter are qualified in *one* batched
+    kernel call: their rows of the index's packed MIP-tidset matrix are
+    gathered, ANDed with the packed focal tidset, and popcounted together
+    (:func:`repro.kernels.and_count`), instead of one Python big-int
+    intersection per candidate.  Standalone MIPs (``row < 0``, only seen
+    outside a built index) fall back to the scalar reference path; either
+    path produces identical counts.
+
+    Returns the qualified list (candidate order preserved) and the number
+    of record-level checks performed (the ELIMINATE cost-model feature).
+    """
+    checked = [
+        cand
+        for cand in candidates
+        if ctx.expand or ctx.aitem_allows(cand[0].itemset)
+    ]
+    matrix = ctx.index.mip_tidset_matrix
+    n_rows = matrix.shape[0]
+    use_kernel = len(checked) >= _QUALIFY_KERNEL_MIN and all(
+        0 <= mip.row < n_rows for mip, _ in checked
+    )
+    qualified: list[Qualified] = []
+    if use_kernel:
+        rows = np.fromiter(
+            (mip.row for mip, _ in checked), dtype=np.intp, count=len(checked)
+        )
+        counts = kernels.and_count(matrix[rows], ctx.packed_dq())
+        qualified = [
+            (mip, int(local))
+            for (mip, _), local in zip(checked, counts)
+            if local >= ctx.min_count
+        ]
+    else:
+        for mip, _overlap in checked:
+            local = mip.local_count(ctx.dq)
+            if local >= ctx.min_count:
+                qualified.append((mip, local))
+    return qualified, len(checked)
+
 
 def op_eliminate(ctx: QueryContext, candidates: list[Candidate]) -> list[Qualified]:
     """ELIMINATE: record-level minsupp check (plus the Aitem filter).
@@ -214,15 +273,7 @@ def op_eliminate(ctx: QueryContext, candidates: list[Candidate]) -> list[Qualifi
     attributes outside Aitem whose sub-itemsets still matter).
     """
     start = time.perf_counter()
-    record_checks = 0
-    qualified: list[Qualified] = []
-    for mip, _overlap in candidates:
-        if not ctx.expand and not ctx.aitem_allows(mip.itemset):
-            continue
-        record_checks += 1
-        local = mip.local_count(ctx.dq)
-        if local >= ctx.min_count:
-            qualified.append((mip, local))
+    qualified, record_checks = _qualify_candidates(ctx, candidates)
     ctx.trace.add(
         OperatorTrace(
             name="ELIMINATE",
@@ -264,15 +315,7 @@ def op_supported_verify(ctx: QueryContext, candidates: list[Candidate]) -> list[
     filter little.
     """
     start = time.perf_counter()
-    record_checks = 0
-    qualified: list[Qualified] = []
-    for mip, _overlap in candidates:
-        if not ctx.expand and not ctx.aitem_allows(mip.itemset):
-            continue
-        record_checks += 1
-        local = mip.local_count(ctx.dq)
-        if local >= ctx.min_count:
-            qualified.append((mip, local))
+    qualified, record_checks = _qualify_candidates(ctx, candidates)
     rules, lookups = _rules_from_qualified(ctx, qualified)
     ctx.trace.add(
         OperatorTrace(
@@ -292,12 +335,19 @@ def _rules_from_qualified(
     """Generate localized rules from support-qualified candidates.
 
     Support of antecedents (and, in expanded mode, of sub-itemsets) is the
-    record-level count ``|t(X) ∩ D^Q|``, computed by intersecting the
-    items' tidsets with the focal tidset — one 64-bit-word AND chain per
-    lookup, memoized per query.  (Equivalent to the IT-tree closure lookup
-    of :meth:`ClosedITTree.local_support_count` for every itemset above
-    the primary floor, and exact below it too; the bitmask path is what
-    makes VERIFY's "record-level check" cheap.)
+    record-level count ``|t(X) ∩ D^Q|``, served by a memoized big-int AND
+    chain per *distinct* itemset; the cache is pre-seeded with the exact
+    counts the batched ELIMINATE kernel already produced for the qualified
+    candidates themselves.  Eagerly batching the antecedent families
+    through the packed kernels was tried and measured as a net loss here
+    — see DESIGN.md's performance-architecture notes — because lookups
+    are confidence-pruned, heavily shared across overlapping closures,
+    and each scalar AND shrinks with the focal tidset, while a batch pays
+    full-universe-width rows for counts that are mostly cache hits.
+    (Equivalent to the IT-tree closure lookup of
+    :meth:`ClosedITTree.local_support_count` for every itemset above the
+    primary floor, and exact below it too; the bitmask path is what makes
+    VERIFY's "record-level check" cheap.)
     """
     item_tidsets = ctx.index.table.item_tidsets()
     cache: dict[Itemset, int | None] = {}

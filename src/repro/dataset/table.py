@@ -12,7 +12,7 @@ from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro import tidset as ts
+from repro import kernels, tidset as ts
 from repro.dataset.schema import Attribute, Item, Schema
 from repro.errors import DataError, SchemaError
 
@@ -51,6 +51,7 @@ class RelationalTable:
         self.data = np.ascontiguousarray(data, dtype=np.int32)
         self.data.setflags(write=False)
         self._item_tidsets: dict[Item, int] | None = None
+        self._item_matrix: tuple[np.ndarray, dict[Item, int]] | None = None
 
     # -- shape -----------------------------------------------------------
 
@@ -96,10 +97,37 @@ class RelationalTable:
             for ai in range(self.n_attributes):
                 column = self.data[:, ai]
                 for vi in np.unique(column):
-                    tids = np.nonzero(column == vi)[0]
-                    masks[Item(ai, int(vi))] = ts.from_tids(int(t) for t in tids)
+                    # One vectorized packbits per item: the column's
+                    # membership bits become the tidset's little-endian
+                    # bytes directly (no per-tid Python work).
+                    bits = np.packbits(column == vi, bitorder="little")
+                    masks[Item(ai, int(vi))] = int.from_bytes(
+                        bits.tobytes(), "little"
+                    )
             self._item_tidsets = masks
         return self._item_tidsets
+
+    def item_matrix(self) -> tuple[np.ndarray, dict[Item, int]]:
+        """Packed ``(n_items, words)`` item-tidset matrix plus row lookup.
+
+        Row ``rows[item]`` of the matrix is ``pack(item_tidset(item))``;
+        items are ordered by their natural sort, matching the column order
+        of :func:`repro.core.stats.gather_statistics`.  Computed once and
+        cached — this is the vectorized mirror of :meth:`item_tidsets`.
+        """
+        if self._item_matrix is None:
+            tidsets = self.item_tidsets()
+            items = sorted(tidsets)
+            words = kernels.n_words(self.n_records)
+            matrix = kernels.pack_many([tidsets[it] for it in items], words)
+            matrix.setflags(write=False)
+            self._item_matrix = (matrix, {it: i for i, it in enumerate(items)})
+        return self._item_matrix
+
+    @property
+    def tidset_words(self) -> int:
+        """64-bit words per packed tidset row for this table's universe."""
+        return kernels.n_words(self.n_records)
 
     def item_tidset(self, item: Item) -> int:
         """Tidset of one item (empty if the item never occurs)."""
@@ -108,14 +136,20 @@ class RelationalTable:
     def itemset_tidset(self, items: Iterable[Item]) -> int:
         """Tidset of an itemset: intersection of its items' tidsets.
 
-        The empty itemset is supported by every record.
+        The empty itemset is supported by every record.  The intersection
+        runs over packed rows of :meth:`item_matrix` in one vectorized
+        reduce; any item absent from the data empties the result.
         """
-        mask = ts.full(self.n_records)
+        matrix, rows = self.item_matrix()
+        indices: list[int] = []
         for item in items:
-            mask &= self.item_tidset(item)
-            if not mask:
-                break
-        return mask
+            row = rows.get(item)
+            if row is None:
+                return ts.EMPTY
+            indices.append(row)
+        if not indices:
+            return ts.full(self.n_records)
+        return kernels.unpack(kernels.and_reduce(matrix[indices]))
 
     def support_count(self, items: Iterable[Item]) -> int:
         """Number of records containing every item of ``items``."""
@@ -136,17 +170,22 @@ class RelationalTable:
         indices; attributes absent from the mapping admit their full domain.
         This is the record-level semantics of the paper's ``Arange``.
         """
-        mask = ts.full(self.n_records)
+        matrix, rows = self.item_matrix()
+        mask = kernels.full_row(self.n_records, self.tidset_words)
         for ai, values in selections.items():
             if not 0 <= ai < self.n_attributes:
                 raise SchemaError(f"attribute index {ai} out of range")
-            attr_mask = ts.EMPTY
-            for vi in values:
-                attr_mask |= self.item_tidset(Item(ai, vi))
-            mask &= attr_mask
-            if not mask:
+            indices = [
+                row
+                for vi in values
+                if (row := rows.get(Item(ai, vi))) is not None
+            ]
+            # One vectorized OR over the admitted values' rows, then AND
+            # into the running selection.
+            mask &= kernels.union_reduce(matrix[indices])
+            if not mask.any():
                 break
-        return mask
+        return kernels.unpack(mask)
 
     def subset(self, tids: int) -> "RelationalTable":
         """A new table holding only the records in tidset ``tids``.

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-from repro import tidset as ts
+from repro import kernels, tidset as ts
 from repro.dataset.schema import Item
 from repro.itemsets.apriori import min_count_for
 from repro.itemsets.itemset import Itemset, make_itemset
@@ -77,7 +77,12 @@ def charm(
         if ts.count(mask) >= min_count
     ]
     closed_by_tidset: dict[int, set[Item]] = {}
-    _charm_extend(roots, min_count, closed_by_tidset)
+    # Size packed rows from the widest tidset actually present, so callers
+    # whose masks outrun ``n_records`` (legal for the pure-int reference)
+    # still pack without overflow.
+    max_bits = max((mask.bit_length() for mask in item_tidsets.values()), default=0)
+    words = kernels.n_words(max(n_records, max_bits))
+    _charm_extend(roots, min_count, closed_by_tidset, words)
     result = [
         ClosedItemset(make_itemset(items), mask)
         for mask, items in closed_by_tidset.items()
@@ -86,37 +91,64 @@ def charm(
     return result
 
 
+#: Classes smaller than this skip the packed-matrix kernel — the fixed
+#: numpy overhead beats what the batch saves on a handful of pairs
+#: (bench_kernels.py puts break-even near 32 members on small universes).
+_KERNEL_MIN_NODES = 16
+
+
 def _charm_extend(
-    nodes: list[_Node], min_count: int, closed: dict[int, set[Item]]
+    nodes: list[_Node], min_count: int, closed: dict[int, set[Item]], words: int
 ) -> None:
     # Zaki & Hsiao process classes in increasing support order so that the
     # subset-tidset properties (1 and 2) fire as often as possible.
     nodes.sort(key=lambda n: ts.count(n.tidset))
+    # One-vs-rest kernel: tidsets never change within a class, so pack the
+    # class once and batch ``|t(Xi) ∩ t(Xj)|`` for all j > i in one
+    # vectorized AND+popcount per i.  Since ``t(Xi) ∩ t(Xj)`` is contained
+    # in both operands, count equality is set equality — properties 1–3
+    # dispatch on the batched cardinalities alone, and the intersection
+    # itself is materialized only when property 4 creates a child.
+    use_kernel = len(nodes) >= _KERNEL_MIN_NODES
+    if use_kernel:
+        matrix = kernels.pack_many([n.tidset for n in nodes], words)
+        counts = kernels.popcount_rows(matrix)
     for i, node in enumerate(nodes):
         if node.removed:
             continue
-        for other in nodes[i + 1:]:
+        inter_counts = (
+            kernels.and_count(matrix[i + 1:], matrix[i]) if use_kernel else None
+        )
+        for off, other in enumerate(nodes[i + 1:]):
             if other.removed:
                 continue
             ti, tj = node.tidset, other.tidset
-            tij = ti & tj
-            if tij == ti and tij == tj:  # property 1: equal tidsets
+            if inter_counts is not None:
+                cij = int(inter_counts[off])
+                eq_i = cij == int(counts[i])
+                eq_j = cij == int(counts[i + 1 + off])
+            else:
+                tij = ti & tj
+                cij = ts.count(tij)
+                eq_i = tij == ti
+                eq_j = tij == tj
+            if eq_i and eq_j:  # property 1: equal tidsets
                 node.items |= other.items
                 _absorb_into_children(node, other.items)
                 other.removed = True
-            elif tij == ti:  # property 2: t(Xi) subset of t(Xj)
+            elif eq_i:  # property 2: t(Xi) subset of t(Xj)
                 node.items |= other.items
                 _absorb_into_children(node, other.items)
-            elif tij == tj:  # property 3: t(Xi) superset of t(Xj)
+            elif eq_j:  # property 3: t(Xi) superset of t(Xj)
                 node.children.append(_Node(node.items | other.items, tj))
                 other.removed = True
-            elif ts.count(tij) >= min_count:  # property 4: new child if frequent
-                node.children.append(_Node(node.items | other.items, tij))
+            elif cij >= min_count:  # property 4: new child if frequent
+                node.children.append(_Node(node.items | other.items, ti & tj))
         if node.children:
             # Children were created before later property-1/2 extensions of
             # this node, so refresh them with the final item set.
             _absorb_into_children(node, node.items)
-            _charm_extend(node.children, min_count, closed)
+            _charm_extend(node.children, min_count, closed, words)
         _record_closed(node, closed)
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-from repro import tidset as ts
+from repro import kernels, tidset as ts
 from repro.dataset.schema import Item
 from repro.itemsets.apriori import min_count_for
 from repro.itemsets.charm import ClosedItemset
@@ -57,7 +57,8 @@ def dcharm(
         if ts.count(mask) >= min_count
     ]
     closed: dict[int, set[Item]] = {}
-    _extend(roots, universe, min_count, closed)
+    words = kernels.n_words(n_records)
+    _extend(roots, universe, min_count, closed, words)
     result = [
         ClosedItemset(make_itemset(items), mask)
         for mask, items in closed.items()
@@ -66,45 +67,70 @@ def dcharm(
     return result
 
 
+#: Classes smaller than this skip the packed-matrix kernel (fixed numpy
+#: overhead beats the batch on a handful of pairs) — mirrors charm's.
+_KERNEL_MIN_NODES = 16
+
+
 def _extend(
     nodes: list[_DNode],
     parent_tidset: int,
     min_count: int,
     closed: dict[int, set[Item]],
+    words: int,
 ) -> None:
     nodes.sort(key=lambda n: n.support)
+    # One-vs-rest kernel over the class's packed diffsets: from the batch
+    # ``a = |d_i ∩ d_j|`` and the per-row popcounts, ``|d_j - d_i| =
+    # |d_j| - a`` and ``|d_i - d_j| = |d_i| - a`` — which decide all four
+    # properties (d_i == d_j iff both differences are empty) and give the
+    # child support without materializing any diffset; the child's diffset
+    # int is built only when a child is actually created.
+    use_kernel = len(nodes) >= _KERNEL_MIN_NODES
+    if use_kernel:
+        matrix = kernels.pack_many([n.diffset for n in nodes], words)
+        counts = kernels.popcount_rows(matrix)
     for i, node in enumerate(nodes):
         if node.removed:
             continue
-        for other in nodes[i + 1:]:
+        inter_counts = (
+            kernels.and_count(matrix[i + 1:], matrix[i]) if use_kernel else None
+        )
+        for off, other in enumerate(nodes[i + 1:]):
             if other.removed:
                 continue
             di, dj = node.diffset, other.diffset
+            if inter_counts is not None:
+                a = int(inter_counts[off])
+                j_minus_i = int(counts[i + 1 + off]) - a   # |d(P Xi Xj)|
+                i_minus_j = int(counts[i]) - a
+            else:
+                j_minus_i = ts.count(dj & ~di)
+                i_minus_j = ts.count(di & ~dj)
             # d(P Xi Xj) = d(P Xj) - d(P Xi); new support from Xi's.
-            child_diff = dj & ~di
-            child_support = node.support - ts.count(child_diff)
-            if di == dj:  # property 1: equal tidsets
+            child_support = node.support - j_minus_i
+            if j_minus_i == 0 and i_minus_j == 0:  # property 1: equal tidsets
                 node.items |= other.items
                 _absorb(node, other.items)
                 other.removed = True
-            elif dj & ~di == 0:  # dj ⊆ di <=> t_i ⊆ t_j: property 2 or 1
+            elif j_minus_i == 0:  # dj ⊆ di <=> t_i ⊆ t_j: property 2 or 1
                 # (strict subset here since equality was handled above)
                 node.items |= other.items
                 _absorb(node, other.items)
-            elif di & ~dj == 0:  # di ⊂ dj <=> t_i ⊃ t_j: property 3
+            elif i_minus_j == 0:  # di ⊂ dj <=> t_i ⊃ t_j: property 3
                 node.children.append(
-                    _DNode(node.items | other.items, child_diff, child_support)
+                    _DNode(node.items | other.items, dj & ~di, child_support)
                 )
                 other.removed = True
             elif child_support >= min_count:  # property 4
                 node.children.append(
-                    _DNode(node.items | other.items, child_diff, child_support)
+                    _DNode(node.items | other.items, dj & ~di, child_support)
                 )
         node_tidset = parent_tidset & ~node.diffset
         if node.children:
             _absorb(node, node.items)
             # Children's diffsets are relative to this node's tidset already.
-            _extend(node.children, node_tidset, min_count, closed)
+            _extend(node.children, node_tidset, min_count, closed, words)
         existing = closed.get(node_tidset)
         if existing is None:
             closed[node_tidset] = set(node.items)

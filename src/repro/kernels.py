@@ -1,0 +1,225 @@
+"""Vectorized bitset kernels: batched tidset operations over uint64 matrices.
+
+The semantic reference for tidsets is :mod:`repro.tidset` — arbitrary
+precision Python ints, one bit per record.  Those are ideal for *single*
+set operations (CPython's big-int AND runs at C speed), but the online
+operators spend their time on *batches*: qualify hundreds of candidate
+MIPs against one focal tidset, intersect one tidset against every other
+member of a CHARM equivalence class, count every antecedent of a rule
+family.  Looping those through one big-int op per element pays a Python
+dispatch per pair.
+
+This module packs tidsets into rows of a ``(k, ceil(n / 64))`` uint64
+numpy matrix (word ``w`` of a row holds tids ``64*w .. 64*w+63``,
+little-endian — bit ``b`` of word ``w`` is tid ``64*w + b``) and provides
+the batched kernels the hot paths need:
+
+* :func:`and_count` — one vectorized AND + popcount returning all ``k``
+  intersection cardinalities at once (the ELIMINATE / CHARM kernel);
+* :func:`intersect_many`, :func:`union_reduce`, :func:`and_reduce` —
+  batched set algebra;
+* :func:`subset_of` — per-row containment tests;
+* :func:`popcount` / :func:`popcount_rows` — elementwise and per-row
+  popcounts, via ``np.bitwise_count`` on numpy >= 2 and a 16-bit
+  lookup table on older numpy;
+* :func:`pack` / :func:`pack_many` / :func:`unpack` — cheap converters
+  between Python-int tidsets and packed rows.
+
+Everything here is an *optimization layer*: every kernel agrees exactly
+with the pure-int reference (property-tested in
+``tests/property/test_kernel_properties.py``), and callers keep int
+tidsets at their boundaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "HAS_BITWISE_COUNT",
+    "n_words",
+    "pack",
+    "pack_many",
+    "unpack",
+    "full_row",
+    "zero_row",
+    "popcount",
+    "popcount_rows",
+    "and_count",
+    "andnot_count",
+    "intersect_many",
+    "subset_of",
+    "union_reduce",
+    "and_reduce",
+    "is_zero_rows",
+]
+
+#: Bits per matrix word.
+WORD_BITS = 64
+
+#: Whether this numpy has a native popcount ufunc (numpy >= 2.0).
+HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Dispatch flag for the popcount implementation.  Tests flip this to
+#: exercise the lookup-table fallback on modern numpy as well.
+_use_bitwise_count = HAS_BITWISE_COUNT
+
+#: Packed rows use explicit little-endian words so ``pack``/``unpack``
+#: round-trip identically on any host byte order.
+_WORD_DTYPE = np.dtype("<u8")
+
+_POPCOUNT16: np.ndarray | None = None
+
+
+def _popcount16_table() -> np.ndarray:
+    """The 65536-entry per-uint16 popcount table (built once, ~64 KiB)."""
+    global _POPCOUNT16
+    if _POPCOUNT16 is None:
+        counts = np.arange(1 << 16, dtype=np.uint16)
+        table = np.zeros(1 << 16, dtype=np.uint8)
+        while counts.any():
+            table += (counts & 1).astype(np.uint8)
+            counts >>= 1
+        _POPCOUNT16 = table
+    return _POPCOUNT16
+
+
+# ---------------------------------------------------------------------------
+# Converters: Python-int tidsets <-> packed uint64 rows
+# ---------------------------------------------------------------------------
+
+
+def n_words(n_bits: int) -> int:
+    """Words needed for a universe of ``n_bits`` tids (at least one)."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return max(1, -(-n_bits // WORD_BITS))
+
+
+def pack(tidset: int, words: int) -> np.ndarray:
+    """Pack one int tidset into a ``(words,)`` uint64 row.
+
+    Raises ``OverflowError`` when the tidset does not fit in ``words``
+    64-bit words — callers size rows from the universe, so this only
+    fires on out-of-universe tids (a bug worth surfacing loudly).
+    """
+    if tidset < 0:
+        raise ValueError("tidsets are non-negative")
+    buf = tidset.to_bytes(words * 8, "little")
+    return np.frombuffer(buf, dtype=_WORD_DTYPE).copy()
+
+
+def pack_many(tidsets: Iterable[int] | Sequence[int], words: int) -> np.ndarray:
+    """Pack many int tidsets into a ``(k, words)`` uint64 matrix."""
+    chunks = [t.to_bytes(words * 8, "little") for t in tidsets]
+    if not chunks:
+        return np.zeros((0, words), dtype=_WORD_DTYPE)
+    matrix = np.frombuffer(b"".join(chunks), dtype=_WORD_DTYPE)
+    return matrix.reshape(len(chunks), words).copy()
+
+
+def unpack(row: np.ndarray) -> int:
+    """The int tidset of one packed row (inverse of :func:`pack`)."""
+    return int.from_bytes(
+        np.ascontiguousarray(row, dtype=_WORD_DTYPE).tobytes(), "little"
+    )
+
+
+def full_row(n_records: int, words: int) -> np.ndarray:
+    """Packed row of ``tidset.full(n_records)`` (trailing bits clear)."""
+    return pack((1 << n_records) - 1 if n_records else 0, words)
+
+
+def zero_row(words: int) -> np.ndarray:
+    """Packed row of the empty tidset."""
+    return np.zeros(words, dtype=_WORD_DTYPE)
+
+
+# ---------------------------------------------------------------------------
+# Popcount kernels
+# ---------------------------------------------------------------------------
+
+
+def popcount(array: np.ndarray) -> np.ndarray:
+    """Elementwise popcount of a uint64 array (same shape, uint8 counts)."""
+    if _use_bitwise_count:
+        return np.bitwise_count(array)
+    table = _popcount16_table()
+    halves = np.ascontiguousarray(array, dtype=_WORD_DTYPE).view("<u2")
+    counts = table[halves]
+    # Four uint16 halves per word: fold back to the word shape.
+    return counts.reshape(*array.shape, 4).sum(axis=-1, dtype=np.uint8)
+
+
+def popcount_rows(matrix: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a ``(k, words)`` matrix — ``k`` int64 counts.
+
+    Accumulates in int32 (a row would need > 2**31 set bits to overflow —
+    universes this library cannot hold in memory) and widens once at the
+    end, which measurably beats a direct int64 reduction.
+    """
+    if matrix.size == 0:
+        return np.zeros(matrix.shape[0], dtype=np.int64)
+    return popcount(matrix).sum(axis=-1, dtype=np.int32).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Batched set algebra
+# ---------------------------------------------------------------------------
+
+
+def and_count(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``|row_i & mask|`` for every row — the batched local-count kernel."""
+    return popcount_rows(matrix & mask)
+
+
+def andnot_count(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``|row_i & ~mask|`` for every row (diffset arithmetic)."""
+    return popcount_rows(matrix & ~mask)
+
+
+def intersect_many(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``row_i & mask`` for every row, as a new matrix."""
+    return matrix & mask
+
+
+def subset_of(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Boolean per row: is ``row_i`` a subset of ``mask``?"""
+    if matrix.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    return ~np.any(matrix & ~mask, axis=-1)
+
+
+def union_reduce(matrix: np.ndarray) -> np.ndarray:
+    """OR of all rows (the empty matrix reduces to the empty tidset)."""
+    if matrix.shape[0] == 0:
+        return zero_row(matrix.shape[1] if matrix.ndim == 2 else 1)
+    return np.bitwise_or.reduce(matrix, axis=0)
+
+
+def and_reduce(matrix: np.ndarray, initial: np.ndarray | None = None) -> np.ndarray:
+    """AND of all rows, optionally seeded with ``initial``.
+
+    The empty matrix reduces to ``initial`` (or all-ones when omitted —
+    the identity of AND; callers wanting the *universe* should pass
+    :func:`full_row` so trailing bits stay clear).
+    """
+    if matrix.shape[0] == 0:
+        if initial is not None:
+            return initial.copy()
+        words = matrix.shape[1] if matrix.ndim == 2 else 1
+        return np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=_WORD_DTYPE)
+    out = np.bitwise_and.reduce(matrix, axis=0)
+    if initial is not None:
+        out = out & initial
+    return out
+
+
+def is_zero_rows(matrix: np.ndarray) -> np.ndarray:
+    """Boolean per row: is the row the empty tidset?"""
+    if matrix.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    return ~np.any(matrix, axis=-1)

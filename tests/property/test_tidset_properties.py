@@ -28,6 +28,29 @@ def test_contains(tids, probe):
     assert ts.contains(ts.from_tids(tids), probe) == (probe in tids)
 
 
+@given(
+    st.lists(st.integers(min_value=0, max_value=300), max_size=60),
+    st.randoms(use_true_random=False),
+)
+def test_from_tids_order_and_duplicates_irrelevant(tids, rnd):
+    """Regression: the packed-bytearray construction must be insensitive
+    to input order and repeated tids (the incremental big-int OR it
+    replaced trivially was)."""
+    reference = ts.from_tids(set(tids))
+    shuffled = list(tids)
+    rnd.shuffle(shuffled)
+    assert ts.from_tids(shuffled) == reference
+    assert ts.from_tids(shuffled + shuffled) == reference
+    assert set(ts.iter_tids(ts.from_tids(shuffled))) == set(tids)
+
+
+def test_from_tids_rejects_negative():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ts.from_tids([3, -1])
+
+
 @given(st.integers(min_value=0, max_value=200))
 def test_full_has_every_tid(n):
     mask = ts.full(n)

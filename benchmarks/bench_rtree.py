@@ -1,0 +1,215 @@
+"""RTREE — pointer-chasing traversal vs the flat SoA frontier traversal.
+
+Measures the SEARCH / SUPPORTED-SEARCH hot path that dominates the online
+MIP-side plans after the PR-1 kernel layer (~55% of chess query time):
+window queries over Hilbert-packed trees of MIP-style boxes at chess /
+mushroom / pumsb grid scale, pointer :meth:`RTree.search` vs
+:meth:`FlatRTree.search`.
+
+Every benchmark query is checked for the equivalence contract before it is
+timed: identical hit set **and byte-identical** ``nodes_visited`` (the
+cost-model unit), so the speedup can never come from doing less work.
+
+The series lands in ``benchmarks/results/rtree_speedup.csv`` plus the
+top-level ``BENCH_rtree.json``.  Run as a pytest test (asserts the >=2x
+acceptance bar for flat traversal at >=10k indexed boxes) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_rtree.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.reporting import format_table, write_csv
+from repro.rtree.flat import FlatRTree
+from repro.rtree.geometry import Rect
+from repro.rtree.packing import pack_hilbert
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_rtree.json"
+
+#: Grid shapes of the paper's evaluation datasets (see repro.dataset.synthetic):
+#: attribute cardinalities of the chess/mushroom/pumsb stand-ins.
+DATASET_CARDS = {
+    "chess": (4,) + tuple(2 if i % 3 else 3 for i in range(1, 12)),
+    "mushroom": (4,) + tuple(3 + (i % 2) for i in range(1, 15)),
+    "pumsb": (5,) + tuple(4 + (i % 5) for i in range(1, 16)),
+}
+
+N_BOXES = (2_000, 10_000, 25_000)
+N_QUERIES = 25
+MAX_ENTRIES = 8
+REPEATS = 3
+
+
+def _mip_boxes(rng: np.random.Generator, cards: tuple[int, ...], n: int):
+    """MIP-style boxes: a random subset of attributes fixed to one cell,
+    the rest spanning their full domain — the shape the MIP-index packs."""
+    n_dims = len(cards)
+    items = []
+    for k in range(n):
+        n_fixed = int(rng.integers(1, min(5, n_dims)))
+        fixed = rng.choice(n_dims, size=n_fixed, replace=False)
+        lows = [0] * n_dims
+        highs = [c - 1 for c in cards]
+        for a in fixed:
+            v = int(rng.integers(0, cards[a]))
+            lows[a] = highs[a] = v
+        items.append((Rect(tuple(lows), tuple(highs)), k,
+                      int(rng.integers(1, 500))))
+    return items
+
+
+def _focal_windows(rng: np.random.Generator, cards: tuple[int, ...], n: int):
+    """Focal-hull-style windows: a couple of range-restricted attributes,
+    full domain elsewhere — what SEARCH probes the tree with."""
+    n_dims = len(cards)
+    queries = []
+    for _ in range(n):
+        n_restricted = int(rng.integers(1, 4))
+        restricted = rng.choice(n_dims, size=n_restricted, replace=False)
+        lows = [0] * n_dims
+        highs = [c - 1 for c in cards]
+        for a in restricted:
+            lo = int(rng.integers(0, cards[a]))
+            hi = int(rng.integers(lo, cards[a]))
+            lows[a], highs[a] = lo, hi
+        min_count = int(rng.integers(1, 500))
+        queries.append((Rect(tuple(lows), tuple(highs)), min_count))
+    return queries
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_dataset(name: str, n_boxes: int, seed: int = 17) -> dict:
+    cards = DATASET_CARDS[name]
+    rng = np.random.default_rng(seed)
+    items = _mip_boxes(rng, cards, n_boxes)
+    queries = _focal_windows(rng, cards, N_QUERIES)
+    tree = pack_hilbert(len(cards), items, max_entries=MAX_ENTRIES)
+    compile_s = _best_of(lambda: FlatRTree.from_rtree(tree), repeats=1)
+    flat = FlatRTree.from_rtree(tree)
+
+    # Equivalence contract on every benchmark query, both operators:
+    # identical hit sets, byte-identical nodes_visited.
+    for query, mc in queries:
+        for min_count in (None, mc):
+            a = tree.search(query, min_count=min_count)
+            b = flat.search(query, min_count=min_count)
+            assert sorted(e.payload for e in a.entries) == \
+                sorted(e.payload for e in b.entries), (name, n_boxes, query)
+            assert a.nodes_visited == b.nodes_visited, (name, n_boxes, query)
+
+    def pointer_search():
+        for query, _ in queries:
+            tree.search(query)
+
+    def flat_search():
+        for query, _ in queries:
+            flat.search(query)
+
+    def pointer_supported():
+        for query, mc in queries:
+            tree.search(query, min_count=mc)
+
+    def flat_supported():
+        for query, mc in queries:
+            flat.search(query, min_count=mc)
+
+    pointer_s = _best_of(pointer_search)
+    flat_s = _best_of(flat_search)
+    pointer_sup_s = _best_of(pointer_supported)
+    flat_sup_s = _best_of(flat_supported)
+    return {
+        "dataset": name,
+        "n_boxes": n_boxes,
+        "n_dims": len(cards),
+        "height": tree.height,
+        "compile_s": compile_s,
+        "search_pointer_s": pointer_s,
+        "search_flat_s": flat_s,
+        "search_speedup": pointer_s / flat_s if flat_s else float("inf"),
+        "supported_pointer_s": pointer_sup_s,
+        "supported_flat_s": flat_sup_s,
+        "supported_speedup": (
+            pointer_sup_s / flat_sup_s if flat_sup_s else float("inf")
+        ),
+    }
+
+
+def run_bench() -> list[dict]:
+    records = []
+    for name in DATASET_CARDS:
+        for n_boxes in N_BOXES:
+            records.append(_bench_dataset(name, n_boxes))
+    return records
+
+
+def write_results(records: list[dict]) -> None:
+    headers = ["dataset", "n_boxes", "height", "compile_ms",
+               "search_ptr_ms", "search_flat_ms", "search_speedup",
+               "supp_ptr_ms", "supp_flat_ms", "supp_speedup"]
+    rows = [
+        [r["dataset"], r["n_boxes"], r["height"],
+         f"{r['compile_s'] * 1e3:.1f}",
+         f"{r['search_pointer_s'] * 1e3:.2f}",
+         f"{r['search_flat_s'] * 1e3:.2f}",
+         f"{r['search_speedup']:.1f}x",
+         f"{r['supported_pointer_s'] * 1e3:.2f}",
+         f"{r['supported_flat_s'] * 1e3:.2f}",
+         f"{r['supported_speedup']:.1f}x"]
+        for r in records
+    ]
+    print("\nRTREE — pointer traversal vs flat SoA frontier traversal "
+          f"({N_QUERIES} focal windows/cell)")
+    print(format_table(headers, rows))
+    write_csv(RESULTS_DIR / "rtree_speedup.csv", headers, rows)
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "bench": "rtree",
+                "numpy": np.__version__,
+                "max_entries": MAX_ENTRIES,
+                "n_queries": N_QUERIES,
+                "repeats": REPEATS,
+                "nodes_visited_identical": True,  # asserted per query above
+                "series": records,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def test_flat_traversal_speedup():
+    records = run_bench()
+    write_results(records)
+    # Acceptance bar: flat traversal is >= 2x the pointer path for every
+    # dataset at >= 10k indexed boxes, for both SEARCH and
+    # SUPPORTED-SEARCH (geometric mean over the two operators per cell).
+    for r in records:
+        if r["n_boxes"] < 10_000:
+            continue
+        geomean = float(
+            np.sqrt(r["search_speedup"] * r["supported_speedup"])
+        )
+        assert geomean >= 2.0, (
+            f"flat speedup {geomean:.2f}x < 2x on {r['dataset']} "
+            f"at {r['n_boxes']} boxes"
+        )
+
+
+if __name__ == "__main__":
+    write_results(run_bench())

@@ -85,6 +85,19 @@ class MaintainedIndex:
     def schema(self):
         return self.index.table.schema
 
+    @property
+    def flat_rtree_current(self) -> bool:
+        """Whether the main index's compiled flat traversal form is current.
+
+        The hull searches of :meth:`query` run on the flat SoA form while
+        it matches the pointer tree's mutation counter; any direct
+        insert/delete on ``index.rtree.tree`` flips this to ``False`` and
+        searches fall back to the pointer tree (never stale hits) until
+        :meth:`repro.core.mipindex.MIPIndex.recompile_flat` or the next
+        :meth:`rebuild` (whose fresh index compiles its own flat form).
+        """
+        return self.index.rtree.flat_is_current()
+
     def coverage_guaranteed(self, query: LocalizedQuery, dq_size: int) -> bool:
         """Whether results for this query are provably complete."""
         floor = self.primary_support * self.n_main_records

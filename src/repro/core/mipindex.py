@@ -44,6 +44,23 @@ class MIPIndex:
         return len(self.mips)
 
     @property
+    def flat_rtree(self):
+        """The compiled flat SoA traversal form (``None`` until compiled).
+
+        Built eagerly by :func:`build_mip_index` right after packing and
+        re-attached from stored arrays by :mod:`repro.core.persistence`;
+        the SEARCH / SUPPORTED-SEARCH operators use it transparently via
+        :class:`~repro.rtree.supported.SupportedRTree` whenever it is
+        current, falling back to the pointer tree after any direct
+        insert/delete on ``rtree.tree`` until :meth:`recompile_flat`.
+        """
+        return self.rtree.flat
+
+    def recompile_flat(self):
+        """Recompile the flat form after pointer-tree mutations."""
+        return self.rtree.compile_flat()
+
+    @property
     def cardinalities(self) -> tuple[int, ...]:
         return self.table.schema.cardinalities()
 
@@ -75,6 +92,7 @@ def build_mip_index(
     primary_support: float,
     max_entries: int = DEFAULT_MAX_ENTRIES,
     packing: str = "hilbert",
+    compile_flat: bool = True,
 ) -> MIPIndex:
     """Run the offline preprocessing phase and return the MIP-index.
 
@@ -99,6 +117,10 @@ def build_mip_index(
         items=[(mip.box, mip, mip.global_count) for mip in mips],
         max_entries=max_entries,
         method=packing,
+        # The flat SoA traversal form is part of the offline artifact so
+        # the first online SEARCH does not pay the compile; persistence
+        # passes False and attaches the stored compile instead.
+        compile_flat=compile_flat,
     )
     ittree = ClosedITTree(closed)
     stats = gather_statistics(

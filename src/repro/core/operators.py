@@ -182,18 +182,25 @@ def _search(ctx: QueryContext, name: str, min_count: int | None) -> list[Candida
         result = ctx.index.rtree.search(hull)
     else:
         result = ctx.index.rtree.search_supported(hull, min_count)
-    # Exact classification of every hit in one vectorized pass (equivalent
+    # Exact classification of the hits in one vectorized pass (equivalent
     # to FocalRange.classify per box — asserted by the operator tests).
-    overlaps, contained = ctx.focal.classify_all(
-        ctx.index.stats.mip_fixed_values
-    )
+    # Only the hit rows' fixed values are gathered and classified: the
+    # hull usually returns a handful of hits, so classifying all N MIPs
+    # (as the first kernel cut did) wasted a full-index pass per query.
     candidates: list[Candidate] = []
-    for entry in result.entries:
-        mip: MIP = entry.payload
-        if not overlaps[mip.row]:
-            continue
-        overlap = Overlap.CONTAINED if contained[mip.row] else Overlap.PARTIAL
-        candidates.append((mip, overlap))
+    if result.entries:
+        hit_mips: list[MIP] = [entry.payload for entry in result.entries]
+        rows = np.fromiter(
+            (mip.row for mip in hit_mips), dtype=np.intp, count=len(hit_mips)
+        )
+        overlaps, contained = ctx.focal.classify_all(
+            ctx.index.stats.mip_fixed_values.take(rows, axis=0)
+        )
+        for mip, is_overlap, is_contained in zip(hit_mips, overlaps, contained):
+            if not is_overlap:
+                continue
+            overlap = Overlap.CONTAINED if is_contained else Overlap.PARTIAL
+            candidates.append((mip, overlap))
     ctx.trace.add(
         OperatorTrace(
             name=name,

@@ -7,12 +7,16 @@ the online phase needs into a single ``.npz`` file:
 * the relational table (schema labels + the cell-index matrix),
 * the closed frequent itemsets (flattened (attribute, value) pairs),
 * the index construction parameters (primary support, fanout, packing),
+* the compiled flat R-tree arrays (format v2 — per-level SoA layout of
+  :mod:`repro.rtree.flat`, plus the leaf-slot -> MIP-row payload map),
 * optionally the calibrated cost weights.
 
-Tidsets, the R-tree and the statistics are *derived* state: they are
-recomputed deterministically on load (packing and statistics gathering are
-pure functions of the stored inputs), which keeps the file small and the
-format trivially forward-compatible.
+Tidsets, the pointer R-tree and the statistics are *derived* state: they
+are recomputed deterministically on load (packing and statistics gathering
+are pure functions of the stored inputs), which keeps the file small and
+the format trivially forward-compatible.  The flat traversal arrays are
+stored so a reloaded index skips the SoA recompilation; v1 files (without
+them) still load and simply recompile.
 """
 
 from __future__ import annotations
@@ -26,11 +30,14 @@ from repro.core.costs import CostWeights
 from repro.core.mipindex import MIPIndex, build_mip_index
 from repro.dataset.schema import Attribute, Schema
 from repro.dataset.table import RelationalTable
-from repro.errors import DataError
+from repro.errors import DataError, IndexError_
+from repro.rtree.flat import FlatRTree
 
 __all__ = ["save_index", "load_index"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+_FLAT_PREFIX = "flat_"
 
 
 def save_index(
@@ -61,6 +68,25 @@ def save_index(
         for item in mip.itemset:
             flat_items.extend((item.attribute, item.value))
         offsets.append(len(flat_items) // 2)
+    arrays: dict[str, np.ndarray] = {}
+    flat = None
+    if index.rtree.tree.mutations == 0:
+        # Only a flat form of the *pristine packed* tree is stored: the
+        # loader re-packs the pointer tree deterministically from the
+        # table, so a compile taken after direct inserts/deletes would
+        # disagree with the reloaded tree.  Mutated indexes simply store
+        # no flat arrays and the loader recompiles.
+        flat = (
+            index.rtree.flat
+            if index.rtree.flat_is_current()
+            else index.rtree.compile_flat()
+        )
+    if flat is not None:
+        for key, arr in flat.to_arrays().items():
+            arrays[_FLAT_PREFIX + key] = arr
+        arrays[_FLAT_PREFIX + "payload_rows"] = np.asarray(
+            [entry.payload.row for entry in flat.leaf_entries], dtype=np.int64
+        )
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
         path,
@@ -68,6 +94,7 @@ def save_index(
         data=index.table.data,
         itemset_items=np.asarray(flat_items, dtype=np.int32).reshape(-1, 2),
         itemset_offsets=np.asarray(offsets, dtype=np.int64),
+        **arrays,
     )
 
 
@@ -78,7 +105,10 @@ def load_index(path: str | Path) -> tuple[MIPIndex, CostWeights | None]:
     was saved without them).  Derived structures (tidsets, packed R-tree,
     statistics) are rebuilt; the stored closed itemsets are verified to
     match a fresh CHARM run so a stale or corrupted file cannot silently
-    produce wrong answers.
+    produce wrong answers.  Format-v2 files additionally carry the flat
+    SoA traversal arrays, which are attached directly (validated
+    structurally) so the reloaded index skips the SoA recompilation; v1
+    files recompile on load.
     """
     path = Path(path)
     try:
@@ -92,7 +122,7 @@ def load_index(path: str | Path) -> tuple[MIPIndex, CostWeights | None]:
         offsets = archive["itemset_offsets"]
     except KeyError as exc:
         raise DataError(f"{path}: missing field {exc} — not a COLARM index")
-    if meta.get("format_version") != _FORMAT_VERSION:
+    if meta.get("format_version") not in _SUPPORTED_VERSIONS:
         raise DataError(
             f"{path}: unsupported format version {meta.get('format_version')}"
         )
@@ -103,16 +133,56 @@ def load_index(path: str | Path) -> tuple[MIPIndex, CostWeights | None]:
         )
     )
     table = RelationalTable(schema, data)
+    flat_arrays = {
+        key[len(_FLAT_PREFIX):]: archive[key]
+        for key in archive.files
+        if key.startswith(_FLAT_PREFIX)
+    }
     index = build_mip_index(
         table,
         primary_support=float(meta["primary_support"]),
         max_entries=int(meta["max_entries"]),
+        compile_flat=not flat_arrays,
     )
     _verify_itemsets(index, items, offsets, path)
+    if flat_arrays:
+        _attach_flat(index, flat_arrays, path)
     weights = (
         CostWeights(dict(meta["weights"])) if meta.get("weights") else None
     )
     return index, weights
+
+
+def _attach_flat(
+    index: MIPIndex, arrays: dict[str, np.ndarray], path: Path
+) -> None:
+    """Rebuild the stored flat traversal form against the reloaded MIPs.
+
+    The stored ``payload_rows`` map each leaf slot to a MIP row; since the
+    packed pointer tree and the MIP enumeration are deterministic functions
+    of the (verified) table, attaching the stored compile is equivalent to
+    recompiling — without walking the object graph again.
+    """
+    try:
+        rows = np.asarray(arrays.pop("payload_rows"), dtype=np.int64)
+    except KeyError:
+        raise DataError(f"{path}: flat arrays lack their payload map")
+    n_mips = index.n_mips
+    if (
+        len(rows) != n_mips
+        or (n_mips and (rows.min() < 0 or rows.max() >= n_mips))
+        or len(np.unique(rows)) != len(rows)
+    ):
+        raise DataError(
+            f"{path}: flat payload map is not a bijection onto the "
+            f"{n_mips} rebuilt MIPs"
+        )
+    try:
+        index.rtree.flat = FlatRTree.from_arrays(
+            arrays, [index.mips[int(r)] for r in rows]
+        )
+    except IndexError_ as exc:
+        raise DataError(f"{path}: corrupt flat R-tree arrays: {exc}") from exc
 
 
 def _verify_itemsets(

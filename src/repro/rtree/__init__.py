@@ -1,6 +1,7 @@
 """R-tree substrate: geometry, dynamic/packed trees, supported filter, costs."""
 
 from repro.rtree.costmodel import expected_leaf_matches, expected_node_accesses
+from repro.rtree.flat import FlatLevel, FlatRTree
 from repro.rtree.geometry import Rect, mbr_of
 from repro.rtree.hilbert import bits_needed, hilbert_index
 from repro.rtree.node import Entry, Node
@@ -16,6 +17,8 @@ __all__ = [
     "bits_needed",
     "Entry",
     "Node",
+    "FlatLevel",
+    "FlatRTree",
     "RTree",
     "RStarTree",
     "SearchResult",

@@ -1,0 +1,312 @@
+"""Flat structure-of-arrays R-tree: contiguous layout + vectorized traversal.
+
+The pointer :class:`~repro.rtree.rtree.RTree` answers a window query by
+descending a Python object graph one :class:`~repro.rtree.node.Entry` at a
+time — after the PR-1 kernel layer this pointer-chasing became the dominant
+online cost of the MIP-side plans (~55% of chess query time; ROADMAP).
+This module compiles any *built* tree (dynamic or Hilbert/STR-packed) into
+structure-of-arrays form and replaces the per-entry loop with **vectorized
+frontier expansion**:
+
+* per level, the entries of all nodes live in contiguous numpy arrays —
+  ``lows[n_entries, n_dims]``, ``highs``, ``counts`` — grouped by owning
+  node through a CSR-style ``node_offsets`` array;
+* a window query keeps a *frontier* of node indices per level; one batched
+  interval-overlap test (``all(q_lo <= highs) & all(lows <= q_hi)``) plus
+  one batched ``counts >= min_count`` mask replaces the Python loop over
+  the frontier's entries;
+* the child of entry ``j`` at an internal level is node ``j`` of the level
+  below (the **child-order invariant**: the compiler enumerates each
+  level's nodes in parent-entry order), so no explicit child-pointer array
+  is needed and the matched-entry index vector *is* the next frontier.
+
+``nodes_visited`` is exact, not estimated: the pointer search pops the
+root plus every internal entry that passes both filters, so the flat
+traversal returns ``1 + sum(matched internal entries per level)`` — byte-
+identical to :meth:`RTree.search` on every query (asserted by the property
+suite), keeping the R-tree cost model (:mod:`repro.rtree.costmodel`) and
+its calibration pricing the same unit.
+
+The compiled form is a snapshot: it records the source tree's mutation
+counter, and :class:`~repro.rtree.supported.SupportedRTree` falls back to
+the pointer tree whenever the counters diverge (inserts/deletes), so a
+stale compile can never serve wrong hits.  The arrays round-trip through
+:mod:`repro.core.persistence` so reloaded indexes skip recompilation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.rtree.geometry import Rect
+from repro.rtree.node import Entry, Node
+from repro.rtree.rtree import RTree, SearchResult
+
+__all__ = ["FlatLevel", "FlatRTree"]
+
+
+@dataclass(frozen=True)
+class FlatLevel:
+    """One tree level in structure-of-arrays form.
+
+    Node ``i`` of the level owns the contiguous entry slice
+    ``node_offsets[i] : node_offsets[i + 1]``; ``lows``/``highs``/``counts``
+    are per-entry.  For internal levels, entry ``j`` parents node ``j`` of
+    the level below (child-order invariant); for the leaf level, entry
+    ``j`` maps to slot ``j`` of the owning tree's leaf payload table.
+    """
+
+    node_offsets: np.ndarray  # (n_nodes + 1,) intp, CSR over entries
+    lows: np.ndarray          # (n_entries, n_dims) int64
+    highs: np.ndarray         # (n_entries, n_dims) int64
+    counts: np.ndarray        # (n_entries,) int64
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_offsets) - 1
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.counts)
+
+
+def _gather_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[k], ends[k])`` for all k, vectorized.
+
+    The frontier-expansion gather: given the CSR entry ranges of the
+    frontier's nodes, produce the index vector of all their entries with
+    two cumulative sums instead of a Python loop over nodes.
+    """
+    lens = ends - starts
+    keep = lens > 0
+    if not keep.all():
+        starts, lens = starts[keep], lens[keep]
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    out = np.ones(total, dtype=np.intp)
+    out[0] = starts[0]
+    if len(starts) > 1:
+        bounds = np.cumsum(lens[:-1])
+        out[bounds] = starts[1:] - (starts[:-1] + lens[:-1]) + 1
+    return np.cumsum(out)
+
+
+class FlatRTree:
+    """A compiled, immutable SoA snapshot of a built :class:`RTree`."""
+
+    def __init__(
+        self,
+        n_dims: int,
+        levels: Sequence[FlatLevel],
+        leaf_entries: Sequence[Entry],
+        source_mutations: int = 0,
+    ):
+        if not levels:
+            raise IndexError_("a flat R-tree needs at least the leaf level")
+        if levels[-1].n_entries != len(leaf_entries):
+            raise IndexError_(
+                f"leaf level has {levels[-1].n_entries} entries but the "
+                f"payload table holds {len(leaf_entries)}"
+            )
+        for upper, lower in zip(levels, levels[1:]):
+            if upper.n_entries != lower.n_nodes:
+                raise IndexError_(
+                    "child-order invariant violated: "
+                    f"{upper.n_entries} internal entries vs "
+                    f"{lower.n_nodes} nodes below"
+                )
+        self.n_dims = n_dims
+        self.levels = tuple(levels)       # root level first, leaf level last
+        self.leaf_entries = list(leaf_entries)
+        self.source_mutations = source_mutations
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_rtree(cls, tree: RTree) -> "FlatRTree":
+        """Compile a built pointer tree (dynamic or packed) level by level."""
+        levels: list[FlatLevel] = []
+        current: list[Node] = [tree.root]
+        leaf_entries: list[Entry] = []
+        while True:
+            level_no = current[0].level
+            if any(node.level != level_no for node in current):
+                raise IndexError_("tree is not level-balanced; cannot compile")
+            node_offsets = np.empty(len(current) + 1, dtype=np.intp)
+            node_offsets[0] = 0
+            entries: list[Entry] = []
+            for i, node in enumerate(current):
+                entries.extend(node.entries)
+                node_offsets[i + 1] = len(entries)
+            n = len(entries)
+            lows = np.empty((n, tree.n_dims), dtype=np.int64)
+            highs = np.empty((n, tree.n_dims), dtype=np.int64)
+            counts = np.empty(n, dtype=np.int64)
+            for j, entry in enumerate(entries):
+                lows[j] = entry.rect.lows
+                highs[j] = entry.rect.highs
+                counts[j] = entry.count
+            for arr in (node_offsets, lows, highs, counts):
+                arr.setflags(write=False)
+            levels.append(FlatLevel(node_offsets, lows, highs, counts))
+            if level_no == 0:
+                leaf_entries = entries
+                break
+            # Child-order invariant: enumerate the next level's nodes in
+            # parent-entry order, so entry j parents node j below.
+            current = [e.child for e in entries]  # type: ignore[misc]
+        return cls(
+            n_dims=tree.n_dims,
+            levels=levels,
+            leaf_entries=leaf_entries,
+            source_mutations=tree.mutations,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.leaf_entries)
+
+    @property
+    def height(self) -> int:
+        return len(self.levels)
+
+    def nbytes(self) -> int:
+        """Total array payload of the compiled form (layout footprint)."""
+        return sum(
+            int(lv.node_offsets.nbytes + lv.lows.nbytes
+                + lv.highs.nbytes + lv.counts.nbytes)
+            for lv in self.levels
+        )
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, query: Rect, min_count: int | None = None) -> SearchResult:
+        """Vectorized window search; same contract as :meth:`RTree.search`.
+
+        Returns the same hit set and the *exact same* ``nodes_visited`` as
+        the pointer traversal: the root plus one per internal entry that
+        passes the overlap test (and, with ``min_count``, the supported
+        filter of Lemma 4.4).  Hits are returned in leaf-array order,
+        which may differ from the pointer tree's stack order; no caller
+        depends on hit order.
+        """
+        if query.n_dims != self.n_dims:
+            raise IndexError_(
+                f"query has {query.n_dims} dims, tree has {self.n_dims}"
+            )
+        q_lo = np.asarray(query.lows, dtype=np.int64)
+        q_hi = np.asarray(query.highs, dtype=np.int64)
+        visited = 1  # the root is always read
+        frontier = np.zeros(1, dtype=np.intp)
+        last = len(self.levels) - 1
+        for depth, level in enumerate(self.levels):
+            cand = _gather_ranges(
+                level.node_offsets[frontier], level.node_offsets[frontier + 1]
+            )
+            if cand.size == 0:
+                return SearchResult([], visited)
+            mask = np.logical_and(
+                (level.lows[cand] <= q_hi).all(axis=1),
+                (q_lo <= level.highs[cand]).all(axis=1),
+            )
+            if min_count is not None:
+                mask &= level.counts[cand] >= min_count
+            matched = cand[mask]
+            if depth == last:
+                return SearchResult(
+                    [self.leaf_entries[j] for j in matched.tolist()], visited
+                )
+            # Every matched internal entry's child is pushed — and later
+            # popped — by the pointer search, hence counted as visited.
+            visited += int(matched.size)
+            frontier = matched
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- persistence -------------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The compiled arrays as a flat mapping (``.npz``-ready).
+
+        Payloads are *not* serialized here — the caller owns the payload
+        table and rebuilds :class:`Entry` objects on load (persistence
+        stores the MIP row per leaf slot).
+        """
+        out: dict[str, np.ndarray] = {
+            "shape": np.asarray([self.n_dims, len(self.levels)], dtype=np.int64),
+        }
+        for i, level in enumerate(self.levels):
+            out[f"offsets_{i}"] = np.asarray(level.node_offsets, dtype=np.int64)
+            out[f"lows_{i}"] = level.lows
+            out[f"highs_{i}"] = level.highs
+            out[f"counts_{i}"] = level.counts
+        return out
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        payloads: Sequence[object],
+    ) -> "FlatRTree":
+        """Rebuild a compiled tree from :meth:`to_arrays` output.
+
+        ``payloads[j]`` becomes the payload of leaf slot ``j``; leaf
+        :class:`Entry` objects are reconstructed from the stored boxes and
+        counts.  Structural invariants (CSR monotonicity, child-order
+        cardinalities) are re-validated so a corrupted file fails loudly.
+        """
+        try:
+            n_dims, n_levels = (int(x) for x in arrays["shape"])
+        except KeyError as exc:
+            raise IndexError_(f"flat arrays missing field {exc}") from exc
+        if n_levels < 1:
+            raise IndexError_("flat arrays declare no levels")
+        levels: list[FlatLevel] = []
+        for i in range(n_levels):
+            try:
+                offsets = np.asarray(arrays[f"offsets_{i}"], dtype=np.intp)
+                lows = np.asarray(arrays[f"lows_{i}"], dtype=np.int64)
+                highs = np.asarray(arrays[f"highs_{i}"], dtype=np.int64)
+                counts = np.asarray(arrays[f"counts_{i}"], dtype=np.int64)
+            except KeyError as exc:
+                raise IndexError_(f"flat arrays missing field {exc}") from exc
+            n = len(counts)
+            if (
+                len(offsets) < 2
+                or offsets[0] != 0
+                or offsets[-1] != n
+                or np.any(np.diff(offsets) < 0)
+                or lows.shape != (n, n_dims)
+                or highs.shape != (n, n_dims)
+            ):
+                raise IndexError_(f"flat level {i} arrays are inconsistent")
+            for arr in (offsets, lows, highs, counts):
+                arr.setflags(write=False)
+            levels.append(FlatLevel(offsets, lows, highs, counts))
+        leaf = levels[-1]
+        if len(payloads) != leaf.n_entries:
+            raise IndexError_(
+                f"{len(payloads)} payloads for {leaf.n_entries} leaf slots"
+            )
+        leaf_entries = [
+            Entry(
+                rect=Rect(
+                    tuple(int(v) for v in leaf.lows[j]),
+                    tuple(int(v) for v in leaf.highs[j]),
+                ),
+                payload=payloads[j],
+                count=int(leaf.counts[j]),
+            )
+            for j in range(leaf.n_entries)
+        ]
+        return cls(
+            n_dims=n_dims,
+            levels=levels,
+            leaf_entries=leaf_entries,
+            source_mutations=0,  # matches a freshly packed source tree
+        )

@@ -106,6 +106,9 @@ def _pack_ordered(
 
     tree._root = nodes[0]
     tree._size = len(ordered)
+    # A packed tree is born unmutated: flat snapshots compiled from it
+    # (repro.rtree.flat) stay current until the first insert/delete.
+    tree.mutations = 0
     return tree
 
 

@@ -67,6 +67,12 @@ class RTree:
             )
         self._root = Node(level=0)
         self._size = 0
+        #: Monotone counter of structural mutations (inserts/deletes).
+        #: Compiled flat snapshots (:mod:`repro.rtree.flat`) record the
+        #: value at compile time; consumers compare counters to detect a
+        #: stale snapshot and fall back to this pointer tree.  Packed
+        #: trees come out of :mod:`repro.rtree.packing` at 0.
+        self.mutations = 0
 
     # -- introspection --------------------------------------------------------
 
@@ -163,6 +169,7 @@ class RTree:
         if split is not None:
             self._grow_root(split)
         self._size += 1
+        self.mutations += 1
 
     def _insert_entry(self, node: Node, entry: Entry, target_level: int
                       ) -> Node | None:
@@ -273,6 +280,7 @@ class RTree:
         if not removed:
             return False
         self._size -= 1
+        self.mutations += 1
         # Shrink a root that lost all but one child.
         while not self._root.is_leaf and len(self._root.entries) == 1:
             self._root = self._root.entries[0].child  # type: ignore[assignment]

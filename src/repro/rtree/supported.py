@@ -16,6 +16,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.rtree.flat import FlatRTree
 from repro.rtree.geometry import Rect
 from repro.rtree.packing import pack_hilbert, pack_str
 from repro.rtree.rtree import DEFAULT_MAX_ENTRIES, LevelStat, RTree, SearchResult
@@ -25,10 +26,19 @@ __all__ = ["SupportedRTree"]
 
 @dataclass
 class SupportedRTree:
-    """Support-annotated packed R-tree with a plain and a filtered search."""
+    """Support-annotated packed R-tree with a plain and a filtered search.
+
+    Both search entry points transparently use the compiled flat SoA form
+    (:class:`~repro.rtree.flat.FlatRTree`) when one is attached *and still
+    current* (same mutation counter as the pointer tree); otherwise they
+    fall back to the pointer traversal.  The two paths return the same hit
+    set and byte-identical ``nodes_visited``, so the cost model stays
+    calibrated regardless of which one answered.
+    """
 
     tree: RTree
     counts: np.ndarray  # sorted global support counts of all indexed boxes
+    flat: FlatRTree | None = None  # compiled SoA snapshot (may be stale)
 
     @classmethod
     def build(
@@ -37,16 +47,41 @@ class SupportedRTree:
         items: Sequence[tuple[Rect, Any, int]],
         max_entries: int = DEFAULT_MAX_ENTRIES,
         method: str = "hilbert",
+        compile_flat: bool = True,
     ) -> "SupportedRTree":
         """Pack ``(box, payload, global_count)`` triples into a supported R-tree.
 
         ``method`` selects the bulk-loading order: ``"hilbert"`` (Kamel &
-        Faloutsos, the paper's choice) or ``"str"``.
+        Faloutsos, the paper's choice) or ``"str"``.  With ``compile_flat``
+        (the default) the flat SoA traversal form is compiled right after
+        packing; pass ``False`` when the caller will attach a persisted
+        compile instead (:mod:`repro.core.persistence`).
         """
         packer = pack_hilbert if method == "hilbert" else pack_str
         tree = packer(n_dims, items, max_entries=max_entries)
         counts = np.sort(np.asarray([count for _, _, count in items], dtype=np.int64))
-        return cls(tree=tree, counts=counts)
+        built = cls(tree=tree, counts=counts)
+        if compile_flat:
+            built.compile_flat()
+        return built
+
+    # -- flat SoA snapshot management --------------------------------------
+
+    def compile_flat(self) -> FlatRTree:
+        """(Re)compile the flat traversal form from the pointer tree."""
+        self.flat = FlatRTree.from_rtree(self.tree)
+        return self.flat
+
+    def invalidate_flat(self) -> None:
+        """Drop the compiled form (searches fall back to the pointer tree)."""
+        self.flat = None
+
+    def flat_is_current(self) -> bool:
+        """Whether the compiled form matches the pointer tree's state."""
+        return (
+            self.flat is not None
+            and self.flat.source_mutations == self.tree.mutations
+        )
 
     def __len__(self) -> int:
         return len(self.tree)
@@ -60,6 +95,8 @@ class SupportedRTree:
 
     def search(self, query: Rect) -> SearchResult:
         """Plain window search — the basic SEARCH operator."""
+        if self.flat_is_current():
+            return self.flat.search(query)
         return self.tree.search(query)
 
     def search_supported(self, query: Rect, min_count: int) -> SearchResult:
@@ -68,6 +105,8 @@ class SupportedRTree:
         Only entries with global count >= ``min_count`` are returned;
         subtrees whose maximum count falls short are never descended.
         """
+        if self.flat_is_current():
+            return self.flat.search(query, min_count=min_count)
         return self.tree.search(query, min_count=min_count)
 
     def fraction_with_count_at_least(self, min_count: int) -> float:

@@ -136,3 +136,35 @@ def test_many_appends_random_equivalence():
         )
         expected = execute_plan(PlanKind.SEV, fresh, query).rules
         assert rule_key(mx.query(query)) == rule_key(expected), step
+
+
+def test_flat_form_tracks_index_lifecycle(maintained):
+    """The maintained index's hull searches use the flat traversal while
+    current, fall back (never stale) after direct R-tree mutations, and a
+    rebuild's fresh index carries a fresh compile."""
+    from repro.rtree.geometry import Rect
+
+    _, mx = maintained
+    assert mx.flat_rtree_current
+    before = rule_key(mx.query(QUERY))
+
+    # Mutate the pointer tree directly: flat goes stale, answers unchanged.
+    tree = mx.index.rtree.tree
+    mip = mx.index.mips[0]
+    assert tree.delete(mip.box, mip)
+    tree.insert(mip.box, mip, count=mip.global_count)
+    assert not mx.flat_rtree_current
+    assert rule_key(mx.query(QUERY)) == before
+
+    # Explicit recompile restores the vectorized path, same answers.
+    mx.index.recompile_flat()
+    assert mx.flat_rtree_current
+    assert rule_key(mx.query(QUERY)) == before
+
+    # A rebuild produces a new index whose flat form is compiled and
+    # current out of the box.
+    mx.append(make_new_records(5, seed=77))
+    mx.rebuild()
+    assert mx.flat_rtree_current
+    full = Rect.full_domain(mx.index.cardinalities)
+    assert len(mx.index.rtree.search(full).entries) == mx.index.n_mips

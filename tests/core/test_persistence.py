@@ -99,3 +99,73 @@ def test_load_detects_itemset_mismatch(index, tmp_path):
         np.savez(path, **archive)
         with pytest.raises(DataError, match="disagree"):
             load_index(path)
+
+
+def test_roundtrip_attaches_stored_flat_form(index, tmp_path):
+    """v2 files carry the compiled flat R-tree; loading skips recompile
+    and the attached form answers searches identically to a fresh one."""
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)
+    archive = np.load(path)
+    assert any(k.startswith("flat_") for k in archive.files)
+    loaded, _ = load_index(path)
+    assert loaded.flat_rtree is not None
+    assert loaded.rtree.flat_is_current()
+    fresh = loaded.recompile_flat()  # reference compile from pointer tree
+    stored, _ = load_index(path)
+    hull = loaded.rtree.tree.root.mbr()
+    for min_count in (None, 2, 10**9):
+        a = fresh.search(hull, min_count=min_count)
+        b = stored.flat_rtree.search(hull, min_count=min_count)
+        assert sorted(e.payload.itemset for e in a.entries) == \
+            sorted(e.payload.itemset for e in b.entries)
+        assert a.nodes_visited == b.nodes_visited
+
+
+def test_load_v1_file_recompiles_flat(index, tmp_path):
+    """A legacy v1 archive (no flat arrays) still loads; the flat form is
+    compiled on load instead of attached."""
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)
+    archive = dict(np.load(path))
+    meta = json.loads(bytes(archive["meta"]).decode())
+    meta["format_version"] = 1
+    stripped = {k: v for k, v in archive.items() if not k.startswith("flat_")}
+    stripped["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **stripped)
+    loaded, _ = load_index(path)
+    assert loaded.flat_rtree is not None and loaded.rtree.flat_is_current()
+    assert [m.itemset for m in loaded.mips] == [m.itemset for m in index.mips]
+
+
+def test_load_detects_corrupt_flat_arrays(index, tmp_path):
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)
+    archive = dict(np.load(path))
+
+    # Broken payload bijection.
+    tampered = dict(archive)
+    rows = tampered["flat_payload_rows"].copy()
+    if len(rows) > 1:
+        rows[0] = rows[1]
+        tampered["flat_payload_rows"] = rows
+        np.savez(path, **tampered)
+        with pytest.raises(DataError, match="bijection"):
+            load_index(path)
+
+    # Missing payload map entirely.
+    tampered = {k: v for k, v in archive.items() if k != "flat_payload_rows"}
+    np.savez(path, **tampered)
+    with pytest.raises(DataError, match="payload map"):
+        load_index(path)
+
+    # Inconsistent CSR offsets.
+    tampered = dict(archive)
+    n_levels = int(tampered["flat_shape"][1])
+    key = f"flat_offsets_{n_levels - 1}"
+    offs = tampered[key].copy()
+    offs[-1] += 1
+    tampered[key] = offs
+    np.savez(path, **tampered)
+    with pytest.raises(DataError, match="corrupt flat"):
+        load_index(path)

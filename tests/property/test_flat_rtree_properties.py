@@ -1,0 +1,141 @@
+"""Property tests: the flat SoA traversal is bit-equivalent to the pointer
+tree — same hit set *and the same exact* ``nodes_visited`` — for dynamic
+and packed trees, all window/``min_count`` combinations, and degenerate
+(empty / single-box) inputs; and a stale compile is never served after
+inserts/deletes."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.flat import FlatRTree
+from repro.rtree.geometry import Rect
+from repro.rtree.packing import pack_hilbert, pack_str
+from repro.rtree.rtree import RTree
+from repro.rtree.supported import SupportedRTree
+
+CARDS = (6, 5, 7)
+
+
+@st.composite
+def rect_sets(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    # min_value=0 keeps the empty tree in scope; 1-box trees are frequent.
+    n = draw(st.sampled_from([0, 1, 2] + list(range(3, 121, 7))))
+    rng = random.Random(seed)
+    items = []
+    for k in range(n):
+        lows = tuple(rng.randrange(c) for c in CARDS)
+        highs = tuple(
+            min(c - 1, lo + rng.randrange(3)) for lo, c in zip(lows, CARDS)
+        )
+        items.append((Rect(lows, highs), k, rng.randrange(1, 40)))
+    queries = []
+    for _ in range(5):
+        lows = tuple(rng.randrange(c) for c in CARDS)
+        highs = tuple(
+            min(c - 1, lo + rng.randrange(4)) for lo, c in zip(lows, CARDS)
+        )
+        queries.append((Rect(lows, highs), rng.randrange(1, 40)))
+    return items, queries
+
+
+def assert_flat_equivalent(tree, flat, query, min_count):
+    """Same hits and byte-identical nodes_visited on both layouts."""
+    for mc in (None, min_count):
+        pointer = tree.search(query, min_count=mc)
+        vector = flat.search(query, min_count=mc)
+        assert sorted(e.payload for e in pointer.entries) == \
+            sorted(e.payload for e in vector.entries)
+        assert pointer.nodes_visited == vector.nodes_visited
+
+
+@settings(max_examples=30, deadline=None)
+@given(rect_sets(), st.sampled_from(["hilbert", "str"]), st.sampled_from([3, 8]))
+def test_flat_matches_packed_pointer_tree(data, method, max_entries):
+    items, queries = data
+    packer = pack_hilbert if method == "hilbert" else pack_str
+    tree = packer(3, items, max_entries=max_entries)
+    flat = FlatRTree.from_rtree(tree)
+    for query, mc in queries:
+        assert_flat_equivalent(tree, flat, query, mc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rect_sets(), st.sampled_from([3, 8]))
+def test_flat_matches_dynamic_pointer_tree(data, max_entries):
+    items, queries = data
+    tree = RTree(n_dims=3, max_entries=max_entries)
+    for rect, pid, cnt in items:
+        tree.insert(rect, pid, cnt)
+    flat = FlatRTree.from_rtree(tree)
+    for query, mc in queries:
+        assert_flat_equivalent(tree, flat, query, mc)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rect_sets())
+def test_flat_array_round_trip_preserves_search(data):
+    items, queries = data
+    tree = pack_hilbert(3, items, max_entries=8)
+    flat = FlatRTree.from_rtree(tree)
+    rebuilt = FlatRTree.from_arrays(
+        flat.to_arrays(), [e.payload for e in flat.leaf_entries]
+    )
+    for query, mc in queries:
+        assert_flat_equivalent(tree, rebuilt, query, mc)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rect_sets(), st.integers(min_value=0, max_value=2**31))
+def test_mutations_never_serve_stale_flat_hits(data, seed):
+    """After any insert/delete sequence, SupportedRTree search results
+    equal a brute-force scan — the stale compile is bypassed, and a
+    recompile re-enables the flat path with identical answers."""
+    items, queries = data
+    rng = random.Random(seed)
+    sup = SupportedRTree.build(3, items, max_entries=4)
+    live = dict()
+    for rect, pid, cnt in items:
+        live[pid] = (rect, cnt)
+
+    # Random mutation burst against the pointer tree underneath the compile.
+    for step in range(rng.randrange(1, 6)):
+        if live and rng.random() < 0.4:
+            pid = rng.choice(sorted(live))
+            rect, _cnt = live.pop(pid)
+            assert sup.tree.delete(rect, pid)
+        else:
+            pid = 1000 + step
+            lows = tuple(rng.randrange(c) for c in CARDS)
+            rect = Rect.point(lows)
+            cnt = rng.randrange(1, 40)
+            sup.tree.insert(rect, pid, cnt)
+            live[pid] = (rect, cnt)
+    assert not sup.flat_is_current()
+
+    def brute(query, mc=None):
+        return sorted(
+            pid for pid, (rect, cnt) in live.items()
+            if rect.intersects(query) and (mc is None or cnt >= mc)
+        )
+
+    for query, mc in queries:
+        assert sorted(
+            e.payload for e in sup.search(query).entries
+        ) == brute(query)
+        assert sorted(
+            e.payload for e in sup.search_supported(query, mc).entries
+        ) == brute(query, mc)
+
+    # Recompile: flat path returns, answers unchanged.
+    sup.compile_flat()
+    assert sup.flat_is_current()
+    for query, mc in queries:
+        assert sorted(
+            e.payload for e in sup.search(query).entries
+        ) == brute(query)
+        assert sorted(
+            e.payload for e in sup.search_supported(query, mc).entries
+        ) == brute(query, mc)

@@ -1,0 +1,209 @@
+"""Unit tests of the flat SoA R-tree: compile, search, staleness, arrays."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.rtree.flat import FlatRTree, _gather_ranges
+from repro.rtree.geometry import Rect
+from repro.rtree.packing import pack_hilbert, pack_str
+from repro.rtree.rtree import RTree
+from repro.rtree.supported import SupportedRTree
+
+CARDS = (6, 5, 7)
+
+
+def make_items(rng, n):
+    items = []
+    for k in range(n):
+        lows = tuple(rng.randrange(c) for c in CARDS)
+        highs = tuple(
+            min(c - 1, lo + rng.randrange(3)) for lo, c in zip(lows, CARDS)
+        )
+        items.append((Rect(lows, highs), k, rng.randrange(1, 40)))
+    return items
+
+
+def make_queries(rng, n=8):
+    queries = []
+    for _ in range(n):
+        lows = tuple(rng.randrange(c) for c in CARDS)
+        highs = tuple(
+            min(c - 1, lo + rng.randrange(4)) for lo, c in zip(lows, CARDS)
+        )
+        queries.append((Rect(lows, highs), rng.choice([None, rng.randrange(1, 40)])))
+    return queries
+
+
+def assert_equivalent(tree, flat, query, min_count):
+    a = tree.search(query, min_count=min_count)
+    b = flat.search(query, min_count=min_count)
+    assert sorted(e.payload for e in a.entries) == \
+        sorted(e.payload for e in b.entries)
+    assert a.nodes_visited == b.nodes_visited
+
+
+@pytest.mark.parametrize("packer", [pack_hilbert, pack_str])
+def test_compile_packed_tree_equivalence(packer):
+    rng = random.Random(11)
+    items = make_items(rng, 100)
+    tree = packer(3, items, max_entries=8)
+    flat = FlatRTree.from_rtree(tree)
+    assert len(flat) == len(tree)
+    assert flat.height == tree.height
+    for query, mc in make_queries(rng):
+        assert_equivalent(tree, flat, query, mc)
+
+
+def test_compile_dynamic_tree_equivalence():
+    rng = random.Random(5)
+    items = make_items(rng, 80)
+    tree = RTree(n_dims=3, max_entries=4)
+    for rect, pid, cnt in items:
+        tree.insert(rect, pid, cnt)
+    flat = FlatRTree.from_rtree(tree)
+    for query, mc in make_queries(rng):
+        assert_equivalent(tree, flat, query, mc)
+
+
+def test_empty_and_single_node_trees():
+    empty = RTree(n_dims=3)
+    flat = FlatRTree.from_rtree(empty)
+    result = flat.search(Rect((0, 0, 0), (5, 4, 6)))
+    assert result.entries == [] and result.nodes_visited == 1
+    assert empty.search(Rect((0, 0, 0), (5, 4, 6))).nodes_visited == 1
+
+    one = RTree(n_dims=3)
+    one.insert(Rect.point((1, 2, 3)), "p", count=7)
+    flat = FlatRTree.from_rtree(one)
+    hit = flat.search(Rect((0, 0, 0), (5, 4, 6)))
+    assert [e.payload for e in hit.entries] == ["p"]
+    assert hit.nodes_visited == 1
+    assert flat.search(Rect((0, 0, 0), (5, 4, 6)), min_count=8).entries == []
+    miss = flat.search(Rect.point((0, 0, 0)))
+    assert miss.entries == [] and miss.nodes_visited == 1
+
+
+def test_flat_returns_same_entry_objects():
+    """Hits are the pointer tree's own Entry objects (payload identity)."""
+    rng = random.Random(3)
+    items = make_items(rng, 40)
+    tree = pack_hilbert(3, items, max_entries=8)
+    flat = FlatRTree.from_rtree(tree)
+    query = Rect((0, 0, 0), tuple(c - 1 for c in CARDS))
+    pointer_ids = {id(e) for e in tree.search(query).entries}
+    assert {id(e) for e in flat.search(query).entries} == pointer_ids
+
+
+def test_gather_ranges():
+    starts = np.asarray([0, 5, 9, 9], dtype=np.intp)
+    ends = np.asarray([3, 5, 12, 10], dtype=np.intp)
+    assert _gather_ranges(starts, ends).tolist() == [0, 1, 2, 9, 10, 11, 9]
+    assert _gather_ranges(
+        np.asarray([4], dtype=np.intp), np.asarray([4], dtype=np.intp)
+    ).size == 0
+
+
+def test_dimension_mismatch_rejected():
+    tree = pack_hilbert(3, make_items(random.Random(1), 10), max_entries=4)
+    flat = FlatRTree.from_rtree(tree)
+    with pytest.raises(IndexError_):
+        flat.search(Rect((0, 0), (1, 1)))
+
+
+def test_arrays_round_trip():
+    rng = random.Random(9)
+    items = make_items(rng, 60)
+    tree = pack_hilbert(3, items, max_entries=4)
+    flat = FlatRTree.from_rtree(tree)
+    arrays = flat.to_arrays()
+    rebuilt = FlatRTree.from_arrays(
+        arrays, [e.payload for e in flat.leaf_entries]
+    )
+    assert rebuilt.height == flat.height
+    assert len(rebuilt) == len(flat)
+    for query, mc in make_queries(rng):
+        a = flat.search(query, min_count=mc)
+        b = rebuilt.search(query, min_count=mc)
+        assert sorted(e.payload for e in a.entries) == \
+            sorted(e.payload for e in b.entries)
+        assert a.nodes_visited == b.nodes_visited
+
+
+def test_from_arrays_rejects_corruption():
+    tree = pack_hilbert(3, make_items(random.Random(2), 30), max_entries=4)
+    flat = FlatRTree.from_rtree(tree)
+    payloads = [e.payload for e in flat.leaf_entries]
+    good = flat.to_arrays()
+
+    missing = dict(good)
+    del missing["counts_0"]
+    with pytest.raises(IndexError_):
+        FlatRTree.from_arrays(missing, payloads)
+
+    broken = dict(good)
+    key = f"offsets_{flat.height - 1}"
+    bad = np.array(broken[key])
+    bad[-1] += 1  # CSR no longer covers exactly the entry array
+    broken[key] = bad
+    with pytest.raises(IndexError_):
+        FlatRTree.from_arrays(broken, payloads)
+
+    with pytest.raises(IndexError_):
+        FlatRTree.from_arrays(good, payloads[:-1])  # payload table short
+
+
+def test_supported_tree_uses_flat_and_detects_mutation():
+    """Insert/delete after compile must never serve stale flat hits."""
+    rng = random.Random(21)
+    items = make_items(rng, 50)
+    sup = SupportedRTree.build(3, items, max_entries=4)
+    assert sup.flat_is_current()
+    full = Rect((0, 0, 0), tuple(c - 1 for c in CARDS))
+    assert len(sup.search(full).entries) == 50
+
+    # Mutate the pointer tree directly: the compiled form is now stale.
+    new_rect = Rect.point((2, 2, 2))
+    sup.tree.insert(new_rect, "fresh", count=99)
+    assert not sup.flat_is_current()
+    # Search falls back to the pointer tree and sees the new entry.
+    payloads = [e.payload for e in sup.search(full).entries]
+    assert "fresh" in payloads and len(payloads) == 51
+    assert "fresh" in [
+        e.payload for e in sup.search_supported(full, min_count=50).entries
+    ]
+
+    # Recompile: the flat form is current again and agrees with pointer.
+    sup.compile_flat()
+    assert sup.flat_is_current()
+    assert sorted(map(str, (e.payload for e in sup.search(full).entries))) == \
+        sorted(map(str, payloads))
+
+    # Deletion invalidates too.
+    assert sup.tree.delete(new_rect, "fresh")
+    assert not sup.flat_is_current()
+    assert len(sup.search(full).entries) == 50
+    sup.invalidate_flat()
+    assert sup.flat is None and len(sup.search(full).entries) == 50
+
+
+def test_unbalanced_tree_rejected():
+    """The compiler refuses structurally broken (non-level-balanced) input."""
+    from repro.rtree.node import Entry, Node
+
+    leaf = Node(level=0, entries=[
+        Entry(rect=Rect.point((0, 0, 0)), payload="x", count=1)
+    ])
+    wrong = Node(level=1, entries=[
+        Entry(rect=leaf.mbr(), child=leaf, count=1)
+    ])
+    root = Node(level=2, entries=[
+        Entry(rect=leaf.mbr(), child=leaf, count=1),
+        Entry(rect=wrong.mbr(), child=wrong, count=1),
+    ])
+    tree = RTree(n_dims=3)
+    tree._root = root
+    with pytest.raises(IndexError_):
+        FlatRTree.from_rtree(tree)

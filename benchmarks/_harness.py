@@ -9,6 +9,7 @@ runner (plans x focal sizes x minsupp), and result persistence under
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -20,6 +21,16 @@ from repro.workloads.experiments import ExperimentSpec
 from repro.workloads.queries import random_focal_query
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: CI smoke mode: ``COLARM_BENCH_SMOKE=1`` shrinks the benchmark grids so
+#: the perf benches finish in seconds while still exercising at least one
+#: gate-eligible size (the speedup acceptance bars stay enforced).
+BENCH_SMOKE = os.environ.get("COLARM_BENCH_SMOKE", "0") not in ("", "0")
+
+
+def smoke_grid(full, smoke):
+    """Pick the smoke-sized variant of a benchmark grid when in smoke mode."""
+    return smoke if BENCH_SMOKE else full
 
 #: Plan display order used throughout the figures (mirrors the paper's keys).
 PLAN_ORDER = (
@@ -144,6 +155,11 @@ def run_accuracy(
 
     Plan times are averaged over ``repetitions`` executions so millisecond
     timing noise does not decide which plan "won" a near-tie scenario.
+
+    Every measured plan execution is also fed back through
+    :meth:`ColarmOptimizer.record_measurement`, so after a run
+    ``engine.optimizer.residual_summary()`` reports the per-plan
+    estimate-vs-actual bias/spread behind the accuracy numbers.
     """
     rng = np.random.default_rng(seed)
     records: list[AccuracyRecord] = []
@@ -158,7 +174,12 @@ def run_accuracy(
                     for kind, r in engine.compare_plans(workload.query).items():
                         times[kind] += r.elapsed
                 fastest = min(times, key=lambda k: times[k])
-                chosen = engine.choose_plan(workload.query).kind
+                choice = engine.choose_plan(workload.query)
+                chosen = choice.kind
+                for kind in PlanKind:
+                    engine.optimizer.record_measurement(
+                        choice, kind, times[kind] / repetitions
+                    )
                 records.append(
                     AccuracyRecord(
                         fraction=fraction,

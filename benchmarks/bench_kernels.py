@@ -30,15 +30,19 @@ from repro import kernels
 from repro import tidset as ts
 from repro.analysis.reporting import format_table, write_csv
 
+from _harness import BENCH_SMOKE, smoke_grid
+
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_kernels.json"
 
-N_RECORDS = (1_000, 5_000, 20_000)
-N_CANDIDATES = (64, 256, 1024)
+#: Smoke mode keeps one gate-eligible size (5k records) so the >=2x
+#: acceptance bar below is still enforced, just on a smaller grid.
+N_RECORDS = smoke_grid((1_000, 5_000, 20_000), (1_000, 5_000))
+N_CANDIDATES = smoke_grid((64, 256, 1024), (64, 256))
 #: CHARM levels are quadratic in the class size — keep the grid tractable.
-CHARM_CANDIDATES = (32, 128, 512)
+CHARM_CANDIDATES = smoke_grid((32, 128, 512), (32, 128))
 DENSITY = 0.3
-REPEATS = 5
+REPEATS = smoke_grid(5, 3)
 
 
 def _random_tidsets(rng: np.random.Generator, k: int, n: int) -> list[int]:
@@ -160,6 +164,7 @@ def write_results(records: list[dict]) -> None:
                 ),
                 "density": DENSITY,
                 "repeats": REPEATS,
+                "smoke": BENCH_SMOKE,
                 "series": records,
             },
             indent=2,

@@ -20,9 +20,9 @@ def test_optimizer_accuracy_108_scenarios(benchmark, engines):
     def run():
         per_dataset = {}
         for name, spec in sorted(EXPERIMENTS.items()):
-            per_dataset[name] = run_accuracy(
-                engines(name), spec, FOCAL_FRACTIONS
-            )
+            engine = engines(name)
+            engine.optimizer.residuals.clear()
+            per_dataset[name] = run_accuracy(engine, spec, FOCAL_FRACTIONS)
         return per_dataset
 
     per_dataset = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -74,6 +74,26 @@ def test_optimizer_accuracy_108_scenarios(benchmark, engines):
         detail_rows,
     )
 
+    # Per-plan estimate-vs-actual residuals (log(estimated / measured)):
+    # which cost formula drifts, and by how much, behind the numbers above.
+    residual_rows = []
+    for name in sorted(EXPERIMENTS):
+        for kind, stats in engines(name).optimizer.residual_summary().items():
+            residual_rows.append(
+                [name, kind.value, int(stats["n"]),
+                 f"{stats['median_log_ratio']:+.2f}",
+                 f"{stats['mean_abs_log_ratio']:.2f}"]
+            )
+    print("\nper-plan residuals: log(estimated / measured), 0 = perfect")
+    print(format_table(
+        ["dataset", "plan", "n", "median", "mean |.|"], residual_rows
+    ))
+    write_csv(
+        RESULTS_DIR / "optimizer_accuracy_residuals.csv",
+        ["dataset", "plan", "n", "median_log_ratio", "mean_abs_log_ratio"],
+        residual_rows,
+    )
+
     assert overall["n"] == 108
     # Reproduction targets: the tolerance-based accuracy should reach the
     # paper's ballpark, and the optimizer's picks must stay within a
@@ -83,15 +103,17 @@ def test_optimizer_accuracy_108_scenarios(benchmark, engines):
     # plans themselves get faster (the per-scenario relative-regret mean
     # over-weights millisecond scenarios and inflates mechanically when
     # denominators shrink; it is reported above as a diagnostic, not
-    # gated).  The extra-cost bound is wide because of one known model
-    # weakness that predates the kernel layer and dominates the
-    # aggregate: the clique-series estimate of ARM's mining mass
-    # underestimates dense mushroom-like focal subsets, so a handful of
-    # scenarios pick ARM where a MIP plan is several times faster
-    # (measured ~1.6-1.8x overall extra cost for both the current and the
-    # pre-kernel code on the same machine; ROADMAP lists the fix).  Both
-    # gates are looser than the paper's 93%/5% because millisecond-scale
-    # Python timings make near-ties far noisier than 100+-second C++ runs
-    # (EXPERIMENTS.md discusses the gap).
-    assert overall["tolerant_accuracy"] >= 0.70
-    assert overall["extra_cost"] <= 2.5
+    # gated).  The density-aware ARM model (measured F1/F2/F3, quasi-
+    # clique moment fit, chain-depth truncation and the per-candidate
+    # overhead term in arm_load) closed the old clique-series gap that
+    # used to underprice dense mushroom-like focal subsets by orders of
+    # magnitude: overall extra cost dropped from ~1.8x to ~0.3-0.45x
+    # across runs on the same machine (per-dataset numbers are in
+    # EXPERIMENTS.md).  The gates are still looser than the paper's
+    # 93%/5% because millisecond-scale Python timings make near-ties far
+    # noisier than 100+-second C++ runs (EXPERIMENTS.md discusses the
+    # gap); ``tools/ci_gates.py`` enforces the same thresholds from
+    # ``ci_gates.json`` on a reduced subset in CI.
+    assert overall["strict_accuracy"] >= 0.60
+    assert overall["tolerant_accuracy"] >= 0.72
+    assert overall["extra_cost"] <= 0.5

@@ -30,6 +30,8 @@ from repro.rtree.flat import FlatRTree
 from repro.rtree.geometry import Rect
 from repro.rtree.packing import pack_hilbert
 
+from _harness import BENCH_SMOKE, smoke_grid
+
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_rtree.json"
 
@@ -41,10 +43,12 @@ DATASET_CARDS = {
     "pumsb": (5,) + tuple(4 + (i % 5) for i in range(1, 16)),
 }
 
-N_BOXES = (2_000, 10_000, 25_000)
-N_QUERIES = 25
+#: Smoke mode keeps one gate-eligible size (10k boxes) so the >=2x
+#: acceptance bar below is still enforced, just on a smaller grid.
+N_BOXES = smoke_grid((2_000, 10_000, 25_000), (2_000, 10_000))
+N_QUERIES = smoke_grid(25, 10)
 MAX_ENTRIES = 8
-REPEATS = 3
+REPEATS = smoke_grid(3, 2)
 
 
 def _mip_boxes(rng: np.random.Generator, cards: tuple[int, ...], n: int):
@@ -184,6 +188,7 @@ def write_results(records: list[dict]) -> None:
                 "max_entries": MAX_ENTRIES,
                 "n_queries": N_QUERIES,
                 "repeats": REPEATS,
+                "smoke": BENCH_SMOKE,
                 "nodes_visited_identical": True,  # asserted per query above
                 "series": records,
             },

@@ -13,7 +13,7 @@ irrelevant to plan *selection*).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -33,6 +33,15 @@ class CalibrationReport:
     weights: CostWeights
     n_runs: int
     residual: float  # RMS of (predicted - measured) over the probe runs
+    #: rows per feature in which that feature was the only active one —
+    #: the sample size behind each robust median fit.
+    solo_rows: dict[str, int] = field(default_factory=dict)
+    #: dispersion of the solo ARM time/load ratios, (p75 - p25) / median:
+    #: how much the measured per-unit ARM cost still varies across probe
+    #: subsets after the density-aware load model has explained what it
+    #: can.  Large values mean the fitted ``arm`` weight is a compromise
+    #: and the optimizer's ARM estimates carry that variance.
+    arm_spread: float = 0.0
 
 
 def default_probe_queries(
@@ -172,6 +181,8 @@ def calibrate(
 
     weights = dict(DEFAULT_WEIGHTS)
     fitted = _nnls(matrix, target)
+    solo_rows: dict[str, int] = {}
+    arm_spread = 0.0
     for j, name in enumerate(feature_names):
         # Robust per-feature fit: the median of elapsed/load over the rows
         # where this feature is the only active one.  A single degenerate
@@ -184,8 +195,12 @@ def calibrate(
             if matrix[i, j] > 0
             and all(matrix[i, k] == 0 for k in range(matrix.shape[1]) if k != j)
         ]
+        solo_rows[name] = len(solo)
         if solo:
             weights[name] = float(np.median(solo))
+            if name == "arm" and len(solo) >= 2:
+                p25, med, p75 = np.percentile(solo, (25, 50, 75))
+                arm_spread = float((p75 - p25) / med) if med > 0 else 0.0
         elif matrix[:, j].max() > 0 and fitted[j] > 0:
             weights[name] = float(fitted[j])
     predicted = matrix @ np.asarray(
@@ -193,7 +208,11 @@ def calibrate(
     )
     residual = float(np.sqrt(np.mean((predicted - target) ** 2)))
     return CalibrationReport(
-        weights=CostWeights(weights), n_runs=n_runs, residual=residual
+        weights=CostWeights(weights),
+        n_runs=n_runs,
+        residual=residual,
+        solo_rows=solo_rows,
+        arm_spread=arm_spread,
     )
 
 

@@ -38,7 +38,13 @@ from repro.core.stats import IndexStatistics
 from repro.core.plans import PlanKind
 from repro.rtree.costmodel import expected_leaf_matches, expected_node_accesses
 
-__all__ = ["CostWeights", "QueryProfile", "CostModel", "DEFAULT_WEIGHTS"]
+__all__ = [
+    "ArmModelStats",
+    "CostWeights",
+    "QueryProfile",
+    "CostModel",
+    "DEFAULT_WEIGHTS",
+]
 
 #: Uncalibrated per-unit weights (seconds per load unit), rough orders of
 #: magnitude for CPython; calibration replaces them with fitted values.
@@ -90,6 +96,9 @@ class QueryProfile:
     qualified_fanout: float    # sum of 2**length over the expected survivors
     arm_itemsets: float        # model-based locally-frequent itemset count
     arm_fanout: float          # ... and its 2**length rule-generation mass
+    #: Measured local structure behind the ARM estimate (None when the
+    #: per-item tidsets were unavailable and stored-MIP survivors stood in).
+    arm_stats: "ArmModelStats | None" = None
 
     @classmethod
     def from_query(
@@ -123,10 +132,13 @@ class QueryProfile:
             query, focal, stats, min_count, global_floor, aitem_fraction,
             contained_fraction,
         )
+        arm_stats = None
         if item_local_tidsets is not None and dq is not None and dq_size > 0:
-            arm_itemsets, arm_fanout = _model_arm_counts(
+            arm_stats = _model_arm_counts(
                 query, item_local_tidsets, dq, dq_size, min_count
             )
+            arm_itemsets = arm_stats.est_itemsets
+            arm_fanout = arm_stats.est_fanout
         else:
             arm_itemsets = cards["est_qualified"]
             arm_fanout = cards["qualified_fanout"]
@@ -139,6 +151,7 @@ class QueryProfile:
             contained_fraction=contained_fraction,
             arm_itemsets=arm_itemsets,
             arm_fanout=arm_fanout,
+            arm_stats=arm_stats,
             **cards,
         )
 
@@ -146,8 +159,119 @@ class QueryProfile:
 #: At most this many locally frequent items have their pairwise supports
 #: measured exactly; beyond it the pair density is extrapolated.
 _ARM_MODEL_MAX_ITEMS = 48
+#: At most this many of the strongest items have their *triangles* (level-3
+#: itemsets) measured exactly; C(32, 3) ≈ 5k masked ANDs worst case.
+_ARM_MODEL_MAX_TRIANGLE_ITEMS = 32
 #: Itemset-length cap for the clique-model series (2**k saturates anyway).
 _ARM_MODEL_MAX_LENGTH = 16
+#: Chain-length caps for the measured lower bound (2**L / 3**L saturate).
+_ARM_CHAIN_COUNT_CAP = 16
+_ARM_CHAIN_FANOUT_CAP = 13
+#: Per-candidate constant overhead of the from-scratch miner, in tidset-word
+#: units: candidate generation + support-dict lookup cost a few hundred
+#: nanoseconds regardless of how narrow the focal tidset is.
+_ARM_OP_OVERHEAD_WORDS = 8.0
+
+
+@dataclass(frozen=True)
+class ArmModelStats:
+    """Measured structure of the focal subset's frequent-item graph.
+
+    Everything here comes from exact bitmask measurements over the focal
+    tidset — the quantities the density-aware ARM estimate is conditioned
+    on.  They are exposed (through :class:`QueryProfile`) so calibration
+    can fit the ``arm`` weight against them and the accuracy bench can
+    report estimate-vs-actual residuals alongside the structure that
+    produced each estimate.
+    """
+
+    f1: int                 # exact locally frequent items
+    sample_size: int        # items with exact pairwise measurements
+    pairs_sampled: int      # pairs measured (C(sample_size, 2))
+    f2_sampled: int         # exact locally frequent pairs in the sample
+    density: float          # f2_sampled / pairs_sampled
+    degree_mean: float      # mean frequent-pair degree over the sample
+    degree_max: int         # max frequent-pair degree over the sample
+    core_size: int          # densest degree-ordered prefix (top-clique core)
+    core_density: float     # pair density inside that core
+    triangle_items: int     # items with exact triangle measurements
+    triangles_candidate: int  # pair-graph triangles examined (Apriori cands)
+    f3_sampled: int         # exact locally frequent triples in the sample
+    chain_length: int       # greedy max-support frequent chain length
+    fit_size: float         # quasi-clique moment fit: effective item count
+    fit_density: float      # quasi-clique moment fit: effective pair density
+    est_itemsets: float     # the mining-mass estimate
+    est_fanout: float       # the rule-generation (sum 2**k) estimate
+
+
+def _clique_equivalent_size(f_k: float, k: int) -> float:
+    """The real ``x`` with ``C(x, k) = f_k`` — the size of the clique whose
+    level-``k`` itemset count matches the measurement.
+
+    Anchoring the series on this *clique-equivalent size* is what makes
+    the estimate density-aware: ``C(x, k)`` concentrates all measured mass
+    in one dense core (the Kruskal-Katona extremal configuration), so a
+    dense cluster inside an otherwise sparse focal subset is priced at
+    its own density instead of being diluted by the global mean.
+    """
+    if f_k <= 0.0:
+        return 0.0
+    # C(x, k) is increasing in x for x >= k - 1; bisect on [k - 1, 64].
+    lo, hi = float(k - 1), 64.0
+    if _real_comb(hi, k) <= f_k:
+        return hi
+    for _ in range(50):
+        mid = (lo + hi) / 2.0
+        if _real_comb(mid, k) < f_k:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def _real_comb(x: float, k: int) -> float:
+    """``C(x, k)`` for real ``x`` (0 when ``x < k - 1``); monotone in x."""
+    if x <= k - 1:
+        return 0.0
+    out = 1.0
+    for i in range(k):
+        out *= (x - i) / (k - i)
+    return out
+
+
+def _quasi_clique_size(f2: float, f3: float) -> float:
+    """The real ``n`` solving ``C(n, 3) (f2 / C(n, 2))**3 = f3`` — the
+    quasi-clique whose second and third moments match the measurements.
+
+    A quasi-clique ``G(n, q)`` has ``C(n, 2) q`` expected frequent pairs
+    and ``C(n, 3) q**3`` expected frequent triples; eliminating ``q``
+    gives the equation above, whose left side decreases in ``n`` (``q``
+    shrinks like ``1/n**2`` while ``C(n, 3)`` only grows like ``n**3``).
+    Bisection therefore finds the unique matching size: a uniform pair
+    graph fits ``n ~ F1`` at the mean density, while a clustered one
+    (many triangles for its pair count) fits a small dense core.
+    """
+    if f2 <= 0.0 or f3 <= 0.0:
+        return 0.0
+
+    def h(n: float) -> float:
+        c2 = _real_comb(n, 2)
+        if c2 <= 0.0:
+            return float("inf")
+        return _real_comb(n, 3) * (f2 / c2) ** 3
+
+    lo, hi = 3.0, 4096.0
+    if h(lo) <= f3:
+        return lo
+    if h(hi) >= f3:
+        return hi
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if h(mid) > f3:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
 
 
 def _model_arm_counts(
@@ -156,94 +280,213 @@ def _model_arm_counts(
     dq: int,
     dq_size: int,
     min_count: int,
-) -> tuple[float, float]:
-    """Estimated locally frequent itemsets from exact F1/F2 measurements.
+) -> ArmModelStats:
+    """Density-aware estimate of ARM's from-scratch mining mass.
 
     ARM mines the focal subset from scratch, so its work scales with the
     number of *locally* frequent itemsets — including those below the
-    index's primary floor, which no stored statistic covers.  The profile
-    therefore measures, with a few hundred bitmask intersections:
+    index's primary floor, which no stored statistic covers.  The model
+    measures, with a few thousand bitmask intersections:
 
-    * ``F1`` — the exact number of locally frequent items, and
-    * ``F2`` — the exact number of locally frequent item *pairs* (among
-      the strongest ``_ARM_MODEL_MAX_ITEMS`` items; the remainder is
-      extrapolated from the observed pair density),
+    * ``F1`` — the exact number of locally frequent items;
+    * ``F2`` — the exact number of locally frequent item *pairs* among the
+      strongest ``_ARM_MODEL_MAX_ITEMS`` items (plus a pair-density
+      extrapolation for any unsampled tail), together with the per-item
+      degree sequence and the densest degree-ordered core of the
+      frequent-pair graph;
+    * ``F3`` — the exact number of locally frequent *triples* among the
+      strongest ``_ARM_MODEL_MAX_TRIANGLE_ITEMS`` items, enumerated
+      Apriori-style over the measured pair graph's triangles;
+    * a greedy max-support chain: repeatedly extend a frequent itemset
+      with the best remaining item until support dips below the floor.
 
-    and extrapolates level counts with the clique-count series
-    ``F_k = C(F1, k) * d^(k(k-1)/2)`` where ``d`` is the pair density —
-    the expected number of k-cliques in the frequent-pair graph, which is
-    exactly the Apriori candidate space at level k.  Unlike an
-    independence model this uses the *measured* co-occurrence, so
-    correlated attributes (the expensive ARM cases) are priced correctly.
-
-    Returns ``(itemset_count, sum of 2**length)`` — the mining and
-    rule-generation work masses.
+    Levels ``k >= 4`` extrapolate by *moment-matching a quasi-clique* to
+    the measured second and third levels: solving ``C(n, 2) q = F2`` and
+    ``C(n, 3) q**3 = F3`` for ``(n, q)`` and pricing ``F_k = C(n, k)
+    q^(k(k-1)/2)``.  A uniform pair graph fits the mean-field series
+    (``n ~ F1`` at the mean density, with per-level geometric decay); a
+    clustered graph — many triangles for its pair count, mushroom's
+    cluster-pure focal subsets — fits a small core at ``q -> 1``, the
+    Kruskal-Katona extremal configuration, so the core is priced at its
+    own density instead of being diluted by the mean.  The series is
+    truncated one level past the measured chain depth, which measures how
+    deep the frequent lattice actually reaches.  All measured inputs
+    (``f1``, ``f2_sampled``, ``f3_sampled``, the chain) shrink
+    monotonically as ``min_count`` rises.
     """
-    frequent: list[tuple[int, int]] = []  # (local_count, tidset & dq)
-    for (attribute, _value), mask in item_tidsets.items():
+    frequent: list[tuple[int, tuple[int, int], int]] = []
+    for (attribute, value), mask in item_tidsets.items():
         if query.item_attributes is not None and \
                 attribute not in query.item_attributes:
             continue
         local = mask & dq
         count_ = local.bit_count()
         if count_ >= min_count:
-            frequent.append((count_, local))
+            frequent.append((count_, (attribute, value), local))
+
     f1 = len(frequent)
     if f1 == 0:
-        return 0.0, 0.0
+        return ArmModelStats(0, 0, 0, 0, 0.0, 0.0, 0, 0, 0.0, 0, 0, 0, 0,
+                             0.0, 0.0, 0.0, 0.0)
     if f1 == 1:
-        return 1.0, 2.0
+        return ArmModelStats(1, 1, 0, 0, 0.0, 0.0, 0, 1, 0.0, 1, 0, 0, 1,
+                             1.0, 0.0, 1.0, 2.0)
 
-    frequent.sort(key=lambda cm: -cm[0])
+    # Deterministic strongest-first order: the sample at a higher floor is
+    # always a prefix of the sample at a lower one, which keeps every
+    # sampled measurement monotone in ``min_count``.
+    frequent.sort(key=lambda cm: (-cm[0], cm[1]))
     sample = frequent[:_ARM_MODEL_MAX_ITEMS]
-    pairs_sampled = 0
-    pairs_frequent = 0
-    for i in range(len(sample)):
-        for j in range(i + 1, len(sample)):
-            pairs_sampled += 1
-            if (sample[i][1] & sample[j][1]).bit_count() >= min_count:
-                pairs_frequent += 1
-    density = pairs_frequent / pairs_sampled if pairs_sampled else 0.0
-    total_pairs = f1 * (f1 - 1) / 2.0
-    f2 = density * total_pairs
+    m = len(sample)
 
-    count = float(f1) + f2
-    fanout = 2.0 * f1 + 4.0 * f2
-    f_k = f2
-    for k in range(3, _ARM_MODEL_MAX_LENGTH + 1):
-        if f1 < k or f_k < 1e-3:
-            break
-        # F_k / F_{k-1} for the clique series C(F1,k) d^{k(k-1)/2}:
-        f_k *= (f1 - k + 1) / k * density ** (k - 1)
-        count += f_k
-        fanout += f_k * 2.0 ** min(k, _ARM_MODEL_MAX_LENGTH)
+    # -- F2: exact pairs + degree sequence over the sample -------------------
+    adjacency: set[tuple[int, int]] = set()
+    pair_masks: dict[tuple[int, int], int] = {}
+    degrees = [0] * m
+    t = min(m, _ARM_MODEL_MAX_TRIANGLE_ITEMS)
+    for i in range(m):
+        for j in range(i + 1, m):
+            inter = sample[i][2] & sample[j][2]
+            if inter.bit_count() >= min_count:
+                adjacency.add((i, j))
+                degrees[i] += 1
+                degrees[j] += 1
+                if j < t:
+                    pair_masks[(i, j)] = inter
+    pairs_sampled = m * (m - 1) // 2
+    f2_sampled = len(adjacency)
+    density = f2_sampled / pairs_sampled if pairs_sampled else 0.0
+    tail_pairs = f1 * (f1 - 1) / 2.0 - pairs_sampled
+    f2 = f2_sampled + density * max(tail_pairs, 0.0)
 
-    # Exact lower bound from a greedily grown frequent itemset: if a chain
-    # of L items stays frequent, all of its 2**L subsets are locally
-    # frequent and each of length k contributes 2**k rule candidates
-    # (sum 3**L).  This is *measured*, so a cluster-pure focal subset —
-    # where the clique average dilutes a dense core — still prices ARM's
-    # explosion correctly.
+    # -- top-clique core: densest degree-ordered prefix ----------------------
+    # (diagnostic + calibration feature: how concentrated the pair graph
+    # is; the series itself is anchored on measured triangles below).
+    order = sorted(range(m), key=lambda i: (-degrees[i], i))
+    core_size, core_density = (2, 1.0) if f2_sampled else (0, 0.0)
+    best_mass = 0.0
+    edges_in_prefix = 0
+    for idx, node in enumerate(order):
+        for prev in order[:idx]:
+            edge = (prev, node) if prev < node else (node, prev)
+            if edge in adjacency:
+                edges_in_prefix += 1
+        p = idx + 1
+        if p < 2:
+            continue
+        dens = edges_in_prefix / (p * (p - 1) / 2.0)
+        mass = sum(
+            _real_comb(float(p), k) * dens ** (k * (k - 1) // 2)
+            for k in range(3, min(p, _ARM_MODEL_MAX_LENGTH) + 1)
+        )
+        if mass > best_mass:
+            best_mass, core_size, core_density = mass, p, dens
+
+    # -- F3: exact triangles over the strongest items ------------------------
+    triangles_candidate = 0
+    f3_sampled = 0
+    for (i, j), mask_ij in pair_masks.items():
+        for k in range(j + 1, t):
+            if (i, k) in adjacency and (j, k) in adjacency:
+                triangles_candidate += 1
+                if (mask_ij & sample[k][2]).bit_count() >= min_count:
+                    f3_sampled += 1
+    tail_triples = _real_comb(float(f1), 3) - _real_comb(float(t), 3)
+    f3 = f3_sampled + density ** 3 * max(tail_triples, 0.0)
+
+    # -- measured depth: the greedy max-support chain -------------------------
+    # Greedily extend a frequent itemset with the best remaining item (one
+    # per attribute) until support dips below the floor: a frequent chain
+    # of length L certifies 2**L locally frequent subsets (sum 3**L rule
+    # candidates), and L *measures the lattice's frequent depth* — in
+    # locally dense data the per-level survival decays geometrically with
+    # itemset length, so levels are near-complete up to the depth the
+    # chain reaches and near-empty beyond it.  The candidate pool is
+    # *all* items (an item below the floor can never be accepted — its
+    # extension count is bounded by its support — so the greedy path
+    # depends only on the measured supports, never on ``min_count``,
+    # which makes the chain length provably monotone in the floor).
+    pool = [
+        ((attribute, value), mask & dq)
+        for (attribute, value), mask in sorted(item_tidsets.items())
+        if query.item_attributes is None or
+        attribute in query.item_attributes
+    ]
     chain_mask = dq
     chain_length = 0
     used_attrs: set[int] = set()
-    for (attribute, _value), mask in sorted(
-        item_tidsets.items(),
-        key=lambda kv: -(kv[1] & dq).bit_count(),
-    ):
-        if attribute in used_attrs:
-            continue
-        if query.item_attributes is not None and \
-                attribute not in query.item_attributes:
-            continue
-        extended = chain_mask & mask
-        if extended.bit_count() >= min_count:
-            chain_mask = extended
-            chain_length += 1
-            used_attrs.add(attribute)
-    count = max(count, 2.0 ** min(chain_length, 16))
-    fanout = max(fanout, 3.0 ** min(chain_length, 13))
-    return count, fanout
+    while pool:
+        best_i = -1
+        best_count = -1
+        for idx, ((attribute, _v), mask) in enumerate(pool):
+            if attribute in used_attrs:
+                continue
+            extended_count = (chain_mask & mask).bit_count()
+            if extended_count > best_count:
+                best_count = extended_count
+                best_i = idx
+        if best_i < 0 or best_count < min_count:
+            break
+        (attribute, _v), mask = pool.pop(best_i)
+        chain_mask &= mask
+        chain_length += 1
+        used_attrs.add(attribute)
+
+    # -- levels >= 4: depth-truncated two-moment quasi-clique series ---------
+    # Fit a quasi-clique G(n, q) to the measured second and third levels
+    # (C(n, 2) q = F2 and C(n, 3) q**3 = F3) and price F_k = C(n, k)
+    # q**C(k, 2).  On a uniform pair graph (chess-like dense background)
+    # the fit recovers the mean-field series — n ~ F1 at the mean density
+    # — while a clustered graph (mushroom-like cluster-pure focal
+    # subsets, many triangles for their pair count) fits a small core at
+    # q -> 1, the Kruskal-Katona extremal configuration, instead of
+    # diluting the core by the mean density.  n is clamped to
+    # [max(3, x3), F1] and q re-anchored on the measured third level so
+    # F_3 is reproduced by construction.  The series is truncated one
+    # level past the measured chain depth: a core whose support decays
+    # out at length 5 contributes levels <= 6, not 2**n.  (The ``+1``
+    # level pays for Apriori's candidate generation one level past the
+    # last frequent one.)
+    count = float(f1) + f2 + f3
+    fanout = 2.0 * f1 + 4.0 * f2 + 8.0 * f3
+    n_eff = 0.0
+    q_eff = 0.0
+    if f3 > 0.0 and f2 > 0.0 and f1 >= 3:
+        x3 = _clique_equivalent_size(f3, 3)
+        n_eff = _quasi_clique_size(f2, f3)
+        n_eff = min(max(n_eff, max(3.0, x3)), float(f1))
+        denom = _real_comb(n_eff, 3)
+        q_eff = min((f3 / denom) ** (1.0 / 3.0), 1.0) if denom > 0.0 else 0.0
+        depth = min(max(chain_length + 1, 3), _ARM_MODEL_MAX_LENGTH)
+        for k in range(4, depth + 1):
+            f_k = _real_comb(n_eff, k) * q_eff ** (k * (k - 1) // 2)
+            if f_k < 1e-9:
+                break
+            count += f_k
+            fanout += f_k * 2.0 ** min(k, _ARM_MODEL_MAX_LENGTH)
+    count = max(count, 2.0 ** min(chain_length, _ARM_CHAIN_COUNT_CAP))
+    fanout = max(fanout, 3.0 ** min(chain_length, _ARM_CHAIN_FANOUT_CAP))
+
+    n_deg = max(m, 1)
+    return ArmModelStats(
+        f1=f1,
+        sample_size=m,
+        pairs_sampled=pairs_sampled,
+        f2_sampled=f2_sampled,
+        density=density,
+        degree_mean=sum(degrees) / n_deg,
+        degree_max=max(degrees, default=0),
+        core_size=core_size,
+        core_density=core_density,
+        triangle_items=t,
+        triangles_candidate=triangles_candidate,
+        f3_sampled=f3_sampled,
+        chain_length=chain_length,
+        fit_size=n_eff,
+        fit_density=q_eff,
+        est_itemsets=count,
+        est_fanout=fanout,
+    )
 
 
 def _vectorized_cardinalities(
@@ -493,13 +736,22 @@ class CostModel:
     def arm_load(self, profile: QueryProfile) -> float:
         """Eq. 6 COST(eps_AR): the subset scan (building the subset's item
         tidsets, ~|D^Q| x n), from-scratch mining sized by the local-
-        itemset estimate, plus its rule-generation fan-out."""
+        itemset estimate, plus its rule-generation fan-out.
+
+        Each candidate evaluation costs its tidset intersection (``dq``
+        words) *plus* a constant — the per-operation interpreter overhead
+        of generating the candidate and looking up its support, which
+        dominates for small focal subsets where ``dq_words`` is 1-2.
+        Without the constant, the per-word weight fitted on large subsets
+        underprices small ones by the same factor.
+        """
         dq_words = max(1, -(-profile.dq_size // 64))
+        op_cost = dq_words + _ARM_OP_OVERHEAD_WORDS
         est_local = max(1.0, profile.arm_itemsets)
         return (
             float(profile.dq_size * self.stats.n_attributes)
-            + est_local * max(self.stats.avg_length, 1.0) * dq_words
-            + profile.arm_fanout * dq_words
+            + est_local * max(self.stats.avg_length, 1.0) * op_cost
+            + profile.arm_fanout * op_cost
         )
 
     # -- plan load vectors --------------------------------------------------------

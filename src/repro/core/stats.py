@@ -77,6 +77,15 @@ class IndexStatistics:
     mip_fixed_values: np.ndarray             # (N, n) int32, -1 = free
     item_columns: dict[tuple[int, int], int]  # (attribute, value) -> column
     item_local_counts: np.ndarray            # (N, n_items) int32
+    #: Whole-table analogues of the per-query ARM-model measurements
+    #: (:class:`~repro.core.costs.ArmModelStats`), computed once at build
+    #: time: how many items are frequent at the primary support, and the
+    #: frequent-pair density among the strongest of them.  They are the
+    #: dataset-level prior behind the per-query measurements — a dense
+    #: global pair graph predicts dense focal subsets — and a calibration/
+    #: diagnostics feature that costs ~1k bitmask ANDs offline.
+    global_f1: int = 0
+    global_pair_density: float = 0.0
 
     # -- derived scalars ----------------------------------------------------
 
@@ -169,6 +178,27 @@ def gather_statistics(
     else:
         local_counts = np.zeros((len(mips), 0), dtype=np.int32)
 
+    global_f1 = 0
+    global_pair_density = 0.0
+    if item_tidsets:
+        exact = primary_support * n_records
+        floor = max(int(exact) + (1 if int(exact) < exact else 0), 1)
+        strong = sorted(
+            (mask for mask in item_tidsets.values()
+             if mask.bit_count() >= floor),
+            key=lambda m: -m.bit_count(),
+        )
+        global_f1 = len(strong)
+        strong = strong[:48]
+        pairs = frequent_pairs = 0
+        for i, mi in enumerate(strong):
+            for mj in strong[i + 1:]:
+                pairs += 1
+                if (mi & mj).bit_count() >= floor:
+                    frequent_pairs += 1
+        if pairs:
+            global_pair_density = frequent_pairs / pairs
+
     return IndexStatistics(
         n_records=n_records,
         n_attributes=n_dims,
@@ -189,6 +219,8 @@ def gather_statistics(
         mip_fixed_values=fixed_values,
         item_columns=item_columns,
         item_local_counts=local_counts,
+        global_f1=global_f1,
+        global_pair_density=global_pair_density,
     )
 
 

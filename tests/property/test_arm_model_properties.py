@@ -1,0 +1,116 @@
+"""Property tests for the density-aware ARM cardinality model.
+
+The contract the cost model leans on: as ``min_count`` rises, every
+*measured* component of :class:`ArmModelStats` — the frequent-item count,
+the sampled frequent pairs and triples, and the greedy chain length — is
+monotone non-increasing, because each is a threshold count over fixed
+measured supports (and the strongest-first sample at a higher floor is a
+prefix of the sample at a lower one).  The derived mining-mass estimate is
+checked against its hard structural lower bounds at every floor.
+
+Tables stay small (<= 5 attributes, cardinality <= 3, so <= 15 items):
+every item fits inside both sample caps and the sampled measurements are
+exact, which is what makes the monotonicity provable rather than merely
+typical.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tidset as ts
+from repro.core.costs import _model_arm_counts
+from repro.core.query import LocalizedQuery
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import RelationalTable
+
+
+@st.composite
+def tables_and_focal(draw):
+    n_attrs = draw(st.integers(min_value=2, max_value=5))
+    cards = tuple(
+        draw(st.integers(min_value=2, max_value=3)) for _ in range(n_attrs)
+    )
+    n_records = draw(st.integers(min_value=15, max_value=70))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    data = np.column_stack(
+        [rng.integers(0, c, size=n_records) for c in cards]
+    ).astype(np.int32)
+    # optionally plant a correlated block so dense cores appear often
+    if draw(st.booleans()):
+        block = rng.random(n_records) < 0.5
+        data[block] = data[block][:1]
+    attrs = tuple(
+        Attribute(f"a{i}", tuple(f"v{v}" for v in range(c)))
+        for i, c in enumerate(cards)
+    )
+    table = RelationalTable(Schema(attrs), data)
+    ai = draw(st.integers(min_value=0, max_value=n_attrs - 1))
+    values = frozenset(
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=cards[ai] - 1),
+                min_size=1,
+                max_size=cards[ai],
+            )
+        )
+    )
+    return table, {ai: values}
+
+
+def model_inputs(table, selections):
+    dq = table.tids_matching(selections)
+    item_tidsets = {
+        (item.attribute, item.value): mask
+        for item, mask in table.item_tidsets().items()
+    }
+    return item_tidsets, dq, ts.count(dq)
+
+
+@given(tables_and_focal())
+@settings(max_examples=60, deadline=None)
+def test_measured_components_monotone_in_min_count(table_and_focal):
+    """f1, f2_sampled, f3_sampled, chain_length all shrink as the floor
+    rises — the measured backbone of the estimate is provably monotone."""
+    table, selections = table_and_focal
+    item_tidsets, dq, dq_size = model_inputs(table, selections)
+    if dq_size == 0:
+        return
+    query = LocalizedQuery(selections, 0.3, 0.5)
+    ladder = [
+        _model_arm_counts(query, item_tidsets, dq, dq_size, mc)
+        for mc in range(1, dq_size + 2)
+    ]
+    for lo, hi in zip(ladder, ladder[1:]):
+        assert hi.f1 <= lo.f1
+        assert hi.f2_sampled <= lo.f2_sampled
+        assert hi.f3_sampled <= lo.f3_sampled
+        assert hi.chain_length <= lo.chain_length
+
+
+@given(tables_and_focal())
+@settings(max_examples=60, deadline=None)
+def test_estimate_dominates_structural_lower_bounds(table_and_focal):
+    """At every floor the mining-mass estimate covers what was *measured*:
+    all frequent items, pairs and triples, and the 2**L / 3**L mass the
+    greedy chain certifies."""
+    table, selections = table_and_focal
+    item_tidsets, dq, dq_size = model_inputs(table, selections)
+    if dq_size == 0:
+        return
+    query = LocalizedQuery(selections, 0.3, 0.5)
+    for mc in range(1, dq_size + 2):
+        s = _model_arm_counts(query, item_tidsets, dq, dq_size, mc)
+        measured = s.f1 + s.f2_sampled + s.f3_sampled
+        assert s.est_itemsets >= measured
+        # a frequent chain of length L certifies 2**L - 1 non-empty
+        # frequent subsets and 3**L - 1 rule candidates
+        assert s.est_itemsets >= 2.0 ** min(s.chain_length, 16) - 1.0 - 1e-9
+        assert s.est_fanout >= 3.0 ** min(s.chain_length, 13) - 1.0 - 1e-9
+        if s.f1 == 0:
+            assert s.est_itemsets == 0.0 and s.est_fanout == 0.0
+        # fit stays inside its clamp: never more items than F1, never
+        # denser than a clique
+        assert s.fit_size <= s.f1 + 1e-9
+        assert 0.0 <= s.fit_density <= 1.0

@@ -1,0 +1,155 @@
+"""CI gate runner: a scaled-down ACC accuracy/regret check with
+thresholds loaded from the checked-in ``ci_gates.json``.
+
+The full 108-scenario ACC experiment (``benchmarks/
+bench_optimizer_accuracy.py``) takes ~90 s plus three index builds; CI
+runs this subset instead — one dataset, a reduced focal-fraction grid,
+the same seed and methodology — and enforces the thresholds the repo has
+committed to.  A cost-model regression (a broken ARM weight, a formula
+change that misprices a plan family) shows up here as a failed gate, not
+as a silently slower optimizer.
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python tools/ci_gates.py
+    ... --config ci_gates.json --report benchmarks/results/ci_gates.json
+    ... --override-weight arm=0   # sanity check: must FAIL the gate
+
+``--override-weight`` deliberately corrupts one fitted weight after
+calibration; it exists so the gate itself can be tested (a gate that
+cannot fail gates nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+
+def run_acc_gate(config: dict, overrides: dict[str, float]) -> dict:
+    """Run the reduced ACC experiment and evaluate its thresholds."""
+    from _harness import build_engine, run_accuracy, summarize_accuracy
+    from repro.core.costs import CostWeights
+    from repro.workloads.experiments import EXPERIMENTS
+
+    spec = EXPERIMENTS[config["dataset"]]
+    t0 = time.perf_counter()
+    engine = build_engine(spec)
+    build_s = time.perf_counter() - t0
+
+    if overrides:
+        weights = dict(engine.optimizer.weights.weights)
+        weights.update(overrides)
+        engine.optimizer.set_weights(CostWeights(weights))
+
+    t0 = time.perf_counter()
+    records = run_accuracy(
+        engine,
+        spec,
+        tuple(config["fractions"]),
+        seed=config["seed"],
+        repetitions=config["repetitions"],
+    )
+    run_s = time.perf_counter() - t0
+    summary = summarize_accuracy(records)
+
+    checks = {
+        "strict_accuracy": (
+            summary["strict_accuracy"],
+            ">=",
+            config["min_strict_accuracy"],
+        ),
+        "tolerant_accuracy": (
+            summary["tolerant_accuracy"],
+            ">=",
+            config["min_tolerant_accuracy"],
+        ),
+        "extra_cost": (summary["extra_cost"], "<=", config["max_extra_cost"]),
+    }
+    failures = [
+        name
+        for name, (value, op, bound) in checks.items()
+        if (value < bound if op == ">=" else value > bound)
+    ]
+
+    residuals = {
+        kind.value: stats
+        for kind, stats in engine.optimizer.residual_summary().items()
+    }
+    return {
+        "dataset": config["dataset"],
+        "scenarios": int(summary["n"]),
+        "build_s": round(build_s, 2),
+        "run_s": round(run_s, 2),
+        "summary": {k: round(float(v), 4) for k, v in summary.items()},
+        "checks": {
+            name: {"value": round(float(v), 4), "op": op, "bound": bound}
+            for name, (v, op, bound) in checks.items()
+        },
+        "residuals": residuals,
+        "weight_overrides": overrides,
+        "passed": not failures,
+        "failures": failures,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", type=Path, default=REPO_ROOT / "ci_gates.json")
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "results" / "ci_gates.json",
+    )
+    parser.add_argument(
+        "--override-weight",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="corrupt one fitted cost weight (gate self-test)",
+    )
+    args = parser.parse_args(argv)
+
+    overrides: dict[str, float] = {}
+    for spec in args.override_weight:
+        name, _, value = spec.partition("=")
+        overrides[name] = float(value)
+
+    config = json.loads(args.config.read_text())
+    report = run_acc_gate(config["acc"], overrides)
+
+    args.report.parent.mkdir(parents=True, exist_ok=True)
+    args.report.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"acc-gate [{report['dataset']}, {report['scenarios']} scenarios, "
+        f"build {report['build_s']}s + run {report['run_s']}s]"
+    )
+    for name, check in report["checks"].items():
+        status = "ok  " if name not in report["failures"] else "FAIL"
+        print(
+            f"  {status} {name:<18} {check['value']:.3f} "
+            f"{check['op']} {check['bound']}"
+        )
+    for plan, stats in sorted(report["residuals"].items()):
+        print(
+            f"  residual {plan:<9} n={stats['n']:.0f} "
+            f"median log(est/meas)={stats['median_log_ratio']:+.2f} "
+            f"mean|.|={stats['mean_abs_log_ratio']:.2f}"
+        )
+    if report["passed"]:
+        print("acc-gate: PASS")
+        return 0
+    print(f"acc-gate: FAIL ({', '.join(report['failures'])})")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ runner (plans x focal sizes x minsupp), and result persistence under
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,6 +33,26 @@ BENCH_SMOKE = os.environ.get("COLARM_BENCH_SMOKE", "0") not in ("", "0")
 def smoke_grid(full, smoke):
     """Pick the smoke-sized variant of a benchmark grid when in smoke mode."""
     return smoke if BENCH_SMOKE else full
+
+
+@contextlib.contextmanager
+def paused_gc():
+    """Collect once, then pause the cyclic collector for a timed region.
+
+    Rule extraction materializes 10^5-scale ``Rule`` objects per plan
+    execution; collector pauses triggered mid-plan add up to 2-3x
+    run-to-run jitter on individual plan timings, which randomizes
+    which near-tie plan "wins" a scenario.  Pausing the collector (and
+    paying one collection up front so the timed region starts clean)
+    measures the plans, not the collector."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 #: Plan display order used throughout the figures (mirrors the paper's keys).
 PLAN_ORDER = (
@@ -85,7 +107,8 @@ def run_grid(
                     engine.table, fraction, minsupp, minconf, rng
                 )
                 dq_sizes.append(workload.dq_size)
-                results = engine.compare_plans(workload.query)
+                with paused_gc():
+                    results = engine.compare_plans(workload.query)
                 for kind, result in results.items():
                     totals[kind] += result.elapsed
                 pick = engine.choose_plan(workload.query).kind
@@ -171,7 +194,9 @@ def run_accuracy(
                 )
                 times = {kind: 0.0 for kind in PlanKind}
                 for _ in range(repetitions):
-                    for kind, r in engine.compare_plans(workload.query).items():
+                    with paused_gc():
+                        results = engine.compare_plans(workload.query)
+                    for kind, r in results.items():
                         times[kind] += r.elapsed
                 fastest = min(times, key=lambda k: times[k])
                 choice = engine.choose_plan(workload.query)

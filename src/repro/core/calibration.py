@@ -13,6 +13,7 @@ irrelevant to plan *selection*).
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -93,16 +94,19 @@ def default_probe_queries(
     ]
 
 
-#: Which cost features each instrumented operator exercises.  The
-#: SUPPORTED-VERIFY operator interleaves the eliminate and verify work, so
-#: its measured time is attributed across both features jointly by the
-#: least-squares fit.
+#: Which cost features each instrumented operator exercises.  Used as the
+#: joint-attribution fallback when an operator trace carries no internal
+#: time split; VERIFY-family traces normally report ``mining_s`` /
+#: ``rulegen_s`` / ``kernel_s`` / ``projection_s`` details, from which
+#: :func:`calibrate` builds *solo* rows per feature instead (support
+#: counting -> ``verify``, extraction -> ``rulegen``, embedded
+#: qualification -> ``eliminate``).
 _OPERATOR_FEATURES: dict[str, tuple[str, ...]] = {
     "SEARCH": ("search",),
     "SUPPORTED-SEARCH": ("search",),
     "ELIMINATE": ("eliminate",),
-    "VERIFY": ("verify",),
-    "SUPPORTED-VERIFY": ("eliminate", "verify"),
+    "VERIFY": ("verify", "rulegen"),
+    "SUPPORTED-VERIFY": ("eliminate", "verify", "rulegen"),
     "SELECT": ("select",),
     "ARM": ("arm",),
 }
@@ -152,7 +156,19 @@ def calibrate(
             dq=dq,
         )
         for kind in PlanKind:
-            result = execute_plan(kind, index, query, expand=expand)
+            # Probe timings feed the weight fit directly; a collector
+            # pause mid-probe (rule extraction allocates Rule objects in
+            # bulk) would be priced into the weights.  Collect first,
+            # pause, measure — matching how the accuracy harness times
+            # the plans.
+            gc.collect()
+            was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                result = execute_plan(kind, index, query, expand=expand)
+            finally:
+                if was_enabled:
+                    gc.enable()
             n_runs += 1
             loads = base_model.loads(kind, profile)
             supported = kind.name.startswith("SS")
@@ -160,11 +176,40 @@ def calibrate(
                 "search": base_model.search_load(profile, supported=supported),
                 "eliminate": base_model.eliminate_load(profile, kind),
                 "verify": base_model.verify_load(profile),
+                "rulegen": base_model.rulegen_load(profile),
                 "select": base_model.select_load(profile),
                 "arm": base_model.arm_load(profile),
             }
             del loads  # per-operator attribution below covers everything
+
+            def add_solo_row(feature: str, elapsed: float) -> None:
+                row = [0.0] * len(feature_names)
+                row[column[feature]] = per_feature[feature]
+                rows.append(row)
+                times.append(max(elapsed, 0.0))
+
             for op in result.trace.operators:
+                if op.name in ("VERIFY", "SUPPORTED-VERIFY") and \
+                        "rulegen_s" in op.detail:
+                    # The trace's internal split yields one *solo* row per
+                    # feature — support counting (projection build + kernel
+                    # evaluations) identifies ``verify``, the extraction
+                    # remainder identifies ``rulegen``, and SUPPORTED-
+                    # VERIFY's embedded qualification identifies
+                    # ``eliminate`` — instead of leaving the least-squares
+                    # fit to disentangle them from joint rows.
+                    counting_s = (
+                        op.detail.get("kernel_s", 0.0)
+                        + op.detail.get("projection_s", 0.0)
+                    )
+                    mining_s = op.detail.get("mining_s", 0.0)
+                    add_solo_row("verify", counting_s)
+                    add_solo_row(
+                        "rulegen", op.elapsed - mining_s - counting_s
+                    )
+                    if op.name == "SUPPORTED-VERIFY":
+                        add_solo_row("eliminate", mining_s)
+                    continue
                 features = _OPERATOR_FEATURES.get(op.name)
                 if not features:
                     continue  # FOCUS / UNION: constant overhead

@@ -10,9 +10,13 @@ work estimates the paper's equations describe:
 * ``eliminate`` — record-level support checks, in tidset-word units
   (Eq. 1 COST(E) = |{I^Q_S}| x |D^Q|); SS-E-U-V pays only for partially
   overlapped candidates (Lemma 4.5);
-* ``verify``    — rule-generation work: qualified itemsets times their
-  exponential antecedent fan-out times the word cost of each support
-  lookup (Eq. 1 COST(V));
+* ``verify``    — support-counting work inside VERIFY: one focal
+  projection of the item tidsets (all item rows times the full tidset
+  width) plus the antecedent family's batched kernel evaluations at the
+  *projected* ``|D^Q|``-word width (Eq. 1 COST(V));
+* ``rulegen``   — rule extraction proper: the per-candidate antecedent /
+  consequent enumeration and vectorized confidence pass, scaling with the
+  qualified fan-out but independent of the tidset width;
 * ``select``    — focal-subset extraction (Eq. 6 COST(sigma));
 * ``arm``       — from-scratch mining work (Eq. 6 COST(eps_AR)), sized by
   an independence-model estimate of the *locally* frequent itemsets;
@@ -52,6 +56,7 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "search": 3e-6,
     "eliminate": 3e-8,
     "verify": 4e-8,
+    "rulegen": 5e-7,
     "select": 4e-7,
     "arm": 2e-7,
     "const": 5e-5,
@@ -171,6 +176,11 @@ _ARM_CHAIN_FANOUT_CAP = 13
 #: units: candidate generation + support-dict lookup cost a few hundred
 #: nanoseconds regardless of how narrow the focal tidset is.
 _ARM_OP_OVERHEAD_WORDS = 8.0
+#: Fixed setup cost of one batched rule-extraction pass, in fan-out units:
+#: numpy dispatch over the lattice chunks, the packed-rank lexsort, and the
+#: per-width group loop amount to roughly two thousand fan-out units of
+#: vectorized work regardless of how many splits are actually checked.
+_RULEGEN_OVERHEAD_UNITS = 2048.0
 
 
 @dataclass(frozen=True)
@@ -535,6 +545,8 @@ def _vectorized_cardinalities(
     overlap = np.ones(n, dtype=bool)
     contained = np.ones(n, dtype=bool)
     local_upper = np.full(n, stats.n_records, dtype=np.int64)
+    n_range_attrs = 0
+    log_prod = np.zeros(n, dtype=float)
     for ai, values in query.range_selections.items():
         card = stats.cardinalities[ai]
         sel = np.zeros(card, dtype=bool)
@@ -558,6 +570,25 @@ def _vectorized_cardinalities(
         else:
             attr_counts = np.zeros(n, dtype=np.int64)
         local_upper = np.minimum(local_upper, attr_counts)
+        n_range_attrs += 1
+        with np.errstate(divide="ignore"):
+            log_prod += np.log(attr_counts.astype(float))
+
+    # Expected local count: the Frechet bound ``min_a |t(M) n D^Q_a|`` is
+    # exact for single-attribute regions but overcounts multi-attribute
+    # ones (the realized intersection of k attribute slices is far below
+    # the loosest slice).  The independence estimate ``g * prod_a(c_a/g)``
+    # errs the other way on correlated attributes, so — as with the
+    # distribution-based fallback above — the model takes their geometric
+    # mean.
+    if n_range_attrs >= 2:
+        g = stats.mip_global_counts.astype(float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_expected = log_prod - (n_range_attrs - 1) * np.log(g)
+        expected = np.where(g > 0, np.exp(log_expected), 0.0)
+        est_local = np.sqrt(local_upper * np.minimum(expected, local_upper))
+    else:
+        est_local = local_upper.astype(float)
 
     if query.item_attributes is None:
         aitem_ok = np.ones(n, dtype=bool)
@@ -572,7 +603,7 @@ def _vectorized_cardinalities(
         )
 
     supported = stats.mip_global_counts >= min_count
-    qualified_mask = overlap & aitem_ok & (local_upper >= min_count)
+    qualified_mask = overlap & aitem_ok & (est_local >= min_count)
     contained &= overlap
     lengths = (fixed >= 0).sum(axis=1)
     fanout = np.exp2(np.minimum(lengths, 16).astype(float))
@@ -726,8 +757,38 @@ class CostModel:
         return cands * profile.aitem_fraction * self.stats.tidset_words
 
     def verify_load(self, profile: QueryProfile) -> float:
-        """Eq. 1 COST(V): exponential antecedent fan-out times word cost."""
-        return profile.qualified_fanout * self.stats.tidset_words
+        """Eq. 1 COST(V): support counting through the focal projection.
+
+        The kernel path pays the projection once — every item row repacked
+        at the full tidset width (``sum(cardinalities)`` rows, an upper
+        bound on the item count, times ``tidset_words``) — after which the
+        antecedent family's batched evaluations run at the *projected*
+        ``|D^Q|``-word width.  This replaces the old
+        ``fanout x tidset_words`` pricing, whose width term no longer
+        reflects the work once lookups shrink with the focal subset.
+        """
+        dq_words = max(1, -(-profile.dq_size // 64))
+        projection = float(sum(self.stats.cardinalities)) * self.stats.tidset_words
+        return projection + profile.qualified_fanout * dq_words
+
+    def rulegen_load(self, profile: QueryProfile) -> float:
+        """Rule extraction proper: the mask-indexed confidence pass and
+        canonical-order emit, per qualified fan-out unit.
+
+        Width-independent by construction (the counts are already in hand
+        when extraction runs), so it is priced separately from ``verify``
+        and fitted against the trace's ``rulegen_s`` split.
+
+        ``_RULEGEN_OVERHEAD_UNITS`` is the mirror image of
+        ``_ARM_OP_OVERHEAD_WORDS``: the batched extraction pays a fixed
+        setup cost (chunked numpy dispatch over the subset lattice, the
+        packed-rank ``lexsort``, the per-width group loop) that dominates
+        small fan-outs.  Without the constant, the per-unit weight fitted
+        on small probe fan-outs *overprices* large queries by the same
+        factor the vectorized pass amortizes — which tips the optimizer
+        toward ARM on exactly the queries where the MIP plans win.
+        """
+        return profile.qualified_fanout + _RULEGEN_OVERHEAD_UNITS
 
     def select_load(self, profile: QueryProfile) -> float:
         """Eq. 6 COST(sigma): focal-subset record extraction."""
@@ -774,6 +835,7 @@ class CostModel:
             "search": self.search_load(profile, supported=supported),
             "eliminate": self.eliminate_load(profile, kind),
             "verify": self.verify_load(profile),
+            "rulegen": self.rulegen_load(profile),
         }
         if kind in (PlanKind.SEV, PlanKind.SSEV):
             loads["const"] = 3.0

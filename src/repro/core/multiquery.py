@@ -8,11 +8,17 @@ sharing work across them:
 * queries with identical range selections share the FOCUS step (focal
   tidset) and a single R-tree SEARCH — each query then applies its own
   thresholds to the shared candidate list;
-* within a shared group, candidates are sorted once by local support so
-  each query's ELIMINATE is a binary-search slice instead of a full pass.
+* within a shared group, all candidates' exact local counts come from one
+  batched kernel call and are sorted once descending, so each query's
+  ELIMINATE is a prefix cut instead of a full pass;
+* the *focal projection* (:class:`repro.kernels.FocalKernel` — the dense
+  ``|D^Q|``-bit repack of the item tidsets) is built once per distinct
+  focal subset and shared by every query in the group, so only the first
+  query of a group pays the projection cost.
 
-``execute_batch`` reports per-query results plus the work actually shared,
-and the tests compare its output against one-at-a-time execution.
+``execute_batch`` reports per-query results plus the work actually shared
+(including the projection-cache hit rate), and the tests compare its
+output against one-at-a-time execution.
 """
 
 from __future__ import annotations
@@ -20,11 +26,17 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro import tidset as ts
-from repro.core.mip import MIP
+import numpy as np
+
+from repro import kernels, tidset as ts
 from repro.core.mipindex import MIPIndex
-from repro.core.operators import QueryContext, _rules_from_qualified
-from repro.core.query import LocalizedQuery, Overlap
+from repro.core.operators import (
+    QualifiedArray,
+    QueryContext,
+    _aitem_mask,
+    _rules_from_qualified,
+)
+from repro.core.query import LocalizedQuery
 from repro.errors import QueryError
 from repro.itemsets.apriori import min_count_for
 from repro.itemsets.rules import Rule
@@ -50,6 +62,8 @@ class BatchReport:
     n_groups: int           # distinct focal subsets actually computed
     n_searches: int         # R-tree searches actually executed
     elapsed: float
+    n_projections: int = 0  # focal projections actually built
+    projection_hits: int = 0  # queries served by an already-built projection
 
     @property
     def n_queries(self) -> int:
@@ -69,6 +83,8 @@ def execute_batch(
     groups: dict[tuple, int] = {}
     group_data: list[dict] = []
     items: list[BatchItem | None] = [None] * len(queries)
+    n_projections = 0
+    projection_hits = 0
 
     for qi, query in enumerate(queries):
         query.validate_against(index.table.schema)
@@ -81,32 +97,34 @@ def execute_batch(
             dq_size = ts.count(dq)
             if dq_size == 0:
                 raise QueryError(f"query {qi}: focal subset is empty")
-            hull = focal.hull()
-            result = index.rtree.search(hull)
-            candidates: list[tuple[MIP, Overlap]] = []
-            for entry in result.entries:
-                overlap = focal.classify(entry.payload.box)
-                if overlap is not Overlap.DISJOINT:
-                    candidates.append((entry.payload, overlap))
-            # One record-level pass: every candidate's exact local count,
-            # shared by all queries of the group and pre-sorted descending.
-            with_counts = sorted(
-                ((mip, mip.local_count(dq)) for mip, _ in candidates),
-                key=lambda mc: -mc[1],
-            )
+            packed_dq = kernels.pack(dq, index.tidset_words)
+            rows = _group_candidate_rows(index, focal)
+            # One batched record-level pass: every candidate's exact local
+            # count, shared by all queries of the group and pre-sorted
+            # descending so each query's threshold is a prefix cut.
+            if len(rows):
+                counts = kernels.and_count(
+                    index.mip_tidset_matrix.take(rows, axis=0), packed_dq
+                ).astype(np.int64)
+                order = np.argsort(-counts, kind="stable")
+                rows, counts = rows[order], counts[order]
+            else:
+                counts = np.zeros(0, dtype=np.int64)
             groups[key] = len(group_data)
-            group_data.append(
-                {"focal": focal, "dq": dq, "dq_size": dq_size, "counts": with_counts}
-            )
+            group_data.append({
+                "focal": focal,
+                "dq": dq,
+                "dq_size": dq_size,
+                "packed_dq": packed_dq,
+                "rows": rows,
+                "counts": counts,
+                "kernel": None,  # focal projection, built on first use
+            })
         gid = groups[key]
         data = group_data[gid]
         min_count = min_count_for(query.minsupp, data["dq_size"])
-        qualified = []
-        for mip, local in data["counts"]:
-            if local < min_count:
-                break  # sorted descending: the rest cannot qualify
-            if expand or _aitem_allows(query, mip):
-                qualified.append((mip, local))
+        # Counts are sorted descending: qualified candidates are a prefix.
+        n_keep = int(np.searchsorted(-data["counts"], -min_count, side="right"))
         ctx = QueryContext(
             index=index,
             query=query,
@@ -116,7 +134,18 @@ def execute_batch(
             min_count=min_count,
             expand=expand,
         )
-        rules, _lookups = _rules_from_qualified(ctx, qualified)
+        ctx._dq_packed = data["packed_dq"]
+        if data["kernel"] is None:
+            data["kernel"] = ctx.focal_kernel()  # builds + times the projection
+            n_projections += 1
+        else:
+            ctx._focal_kernel = data["kernel"]
+            projection_hits += 1
+        rows_q = data["rows"][:n_keep]
+        counts_q = data["counts"][:n_keep]
+        keep = _aitem_mask(ctx, rows_q)
+        qualified = QualifiedArray(index, rows_q[keep], counts_q[keep])
+        rules, _lookups, _kernel_s = _rules_from_qualified(ctx, qualified)
         items[qi] = BatchItem(
             query=query, rules=rules, dq_size=data["dq_size"], shared_group=gid
         )
@@ -126,11 +155,32 @@ def execute_batch(
         n_groups=len(group_data),
         n_searches=len(group_data),
         elapsed=time.perf_counter() - start,
+        n_projections=n_projections,
+        projection_hits=projection_hits,
     )
 
 
-def _aitem_allows(query: LocalizedQuery, mip: MIP) -> bool:
-    aitem = query.item_attributes
-    if aitem is None:
-        return True
-    return all(item.attribute in aitem for item in mip.itemset)
+def _group_candidate_rows(index: MIPIndex, focal) -> np.ndarray:
+    """MIP rows overlapping ``focal``, array-native with pointer fallback.
+
+    Mirrors the SEARCH operator: hull probe (flat arrays when the compile
+    is current, Entry walk otherwise), then exact vectorized
+    re-classification against the true per-attribute value sets.
+    """
+    hull = focal.hull()
+    hits = index.rtree.search_arrays(hull)
+    if hits is not None:
+        rows = hits.rows.astype(np.intp, copy=False)
+    else:
+        entries = index.rtree.search(hull).entries
+        rows = np.fromiter(
+            (entry.payload.row for entry in entries),
+            dtype=np.intp,
+            count=len(entries),
+        )
+    if not len(rows):
+        return rows
+    overlaps, _contained = focal.classify_all(
+        index.stats.mip_fixed_values.take(rows, axis=0)
+    )
+    return rows[overlaps]

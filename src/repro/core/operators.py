@@ -12,14 +12,31 @@ operators with precise inputs and outputs:
 * UNION             — merge contained and partially-overlapped candidates;
 * ARM               — traditional from-scratch mining on the focal subset.
 
+The MIP-plan pipeline is *array-native* end to end: SEARCH serves hits as
+contiguous payload-row / global-count arrays straight from the compiled
+flat R-tree (:class:`CandidateArray`), ELIMINATE qualifies them with one
+batched kernel call into a :class:`QualifiedArray`, and VERIFY extracts
+rules through a focal-projected kernel (:class:`repro.kernels.FocalKernel`)
+that counts whole antecedent families level-by-level over ``|D^Q|``-bit
+rows.  :class:`Rule` objects materialize only at the very end.  Both array
+containers iterate as the classic ``(mip, Overlap)`` / ``(mip, count)``
+tuples, so list-based callers (tests, analysis scripts, standalone MIPs)
+keep working through the same operators.
+
 Every operator call appends an :class:`OperatorTrace` (cardinalities,
 record-level work, wall time) to the query's :class:`ExecutionTrace`; the
 calibration module turns those traces into the cost-model unit weights.
+VERIFY-family traces additionally split their wall time into mining
+(``mining_s``) and rule generation (``rulegen_s``, with the kernel share
+in ``kernel_s`` and the one-off projection build in ``projection_s``) so
+the cost model can price the ``rulegen`` term separately.
 """
 
 from __future__ import annotations
 
 import time
+from operator import attrgetter
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,12 +50,20 @@ from repro.errors import QueryError
 from repro.itemsets.apriori import min_count_for
 from repro.itemsets.charm import charm
 from repro.itemsets.itemset import Itemset, make_itemset
-from repro.itemsets.rules import Rule, generate_rules, rules_from_itemsets
+from repro.itemsets.rules import (
+    Rule,
+    generate_rules,
+    rules_from_counts,
+    rules_from_itemsets,
+    rules_from_subset_lattices,
+)
 
 __all__ = [
     "OperatorTrace",
     "ExecutionTrace",
     "QueryContext",
+    "CandidateArray",
+    "QualifiedArray",
     "make_context",
     "op_search",
     "op_supported_search",
@@ -48,12 +73,82 @@ __all__ = [
     "op_union",
     "op_select",
     "op_arm",
+    "qualified_from_contained",
 ]
 
 #: A candidate MIP tagged with its exact relation to the focal region.
 Candidate = tuple[MIP, Overlap]
 #: A candidate that passed the support check, with its exact local count.
 Qualified = tuple[MIP, int]
+
+
+@dataclass
+class CandidateArray:
+    """SEARCH output in array form: rows into the index, not MIP objects.
+
+    ``rows`` are MIP ids (rows of the index's statistics and tidset
+    matrices), ``global_counts`` the matching global support counts from
+    the supported R-tree, ``contained`` the exact classification against
+    the focal region.  Iterating yields the classic ``(mip, Overlap)``
+    pairs, so array-unaware consumers see no difference.
+    """
+
+    index: MIPIndex
+    rows: np.ndarray          # (k,) intp — MIP rows, search order
+    global_counts: np.ndarray  # (k,) int64 — |D^G_I| per row
+    contained: np.ndarray     # (k,) bool — CONTAINED vs PARTIAL
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Candidate]:
+        mips = self.index.mips
+        for row, is_contained in zip(self.rows, self.contained):
+            yield (
+                mips[int(row)],
+                Overlap.CONTAINED if is_contained else Overlap.PARTIAL,
+            )
+
+    def split_overlap(self) -> "tuple[CandidateArray, CandidateArray]":
+        """``(contained, partial)`` halves — the SS-E-U-V split, one mask."""
+        c = self.contained
+        return (
+            CandidateArray(
+                self.index, self.rows[c], self.global_counts[c], self.contained[c]
+            ),
+            CandidateArray(
+                self.index, self.rows[~c], self.global_counts[~c], self.contained[~c]
+            ),
+        )
+
+
+@dataclass
+class QualifiedArray:
+    """ELIMINATE output in array form: MIP rows plus exact local counts.
+
+    Iterating yields ``(mip, local_count)`` pairs for array-unaware
+    consumers; VERIFY reads the arrays directly.
+    """
+
+    index: MIPIndex
+    rows: np.ndarray          # (k,) intp — MIP rows
+    local_counts: np.ndarray  # (k,) int64 — |t(I) ∩ D^Q| per row
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Qualified]:
+        mips = self.index.mips
+        for row, local in zip(self.rows, self.local_counts):
+            yield mips[int(row)], int(local)
+
+    @classmethod
+    def concat(cls, a: "QualifiedArray", b: "QualifiedArray") -> "QualifiedArray":
+        return cls(
+            a.index,
+            np.concatenate([a.rows, b.rows]),
+            np.concatenate([a.local_counts, b.local_counts]),
+        )
 
 
 @dataclass
@@ -79,6 +174,14 @@ class ExecutionTrace:
     def total_elapsed(self) -> float:
         return sum(op.elapsed for op in self.operators)
 
+    def rulegen_elapsed(self) -> float:
+        """Wall time spent generating rules (the VERIFY-family split)."""
+        return sum(op.detail.get("rulegen_s", 0.0) for op in self.operators)
+
+    def mining_elapsed(self) -> float:
+        """Wall time spent on everything except rule generation."""
+        return self.total_elapsed() - self.rulegen_elapsed()
+
     def by_name(self, name: str) -> OperatorTrace | None:
         for op in self.operators:
             if op.name == name:
@@ -98,13 +201,31 @@ class QueryContext:
     min_count: int     # ceil(minsupp * |D^Q|)
     expand: bool       # expand candidates to all locally frequent itemsets
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    projection_s: float = 0.0  # one-off focal-projection build time
     _dq_packed: np.ndarray | None = field(default=None, repr=False)
+    _focal_kernel: "kernels.FocalKernel | None" = field(default=None, repr=False)
 
     def packed_dq(self) -> np.ndarray:
         """The focal tidset as a packed kernel row (computed once)."""
         if self._dq_packed is None:
             self._dq_packed = kernels.pack(self.dq, self.index.tidset_words)
         return self._dq_packed
+
+    def focal_kernel(self) -> "kernels.FocalKernel":
+        """The focal-projected support kernel, built lazily once per query.
+
+        Multi-query batches sharing a focal region pre-set the kernel on
+        the context (:mod:`repro.core.multiquery`), in which case no build
+        happens here and ``projection_s`` stays zero for this context.
+        """
+        if self._focal_kernel is None:
+            start = time.perf_counter()
+            matrix, row_of = self.index.table.item_matrix()
+            self._focal_kernel = kernels.FocalKernel(
+                matrix, row_of, self.packed_dq(), self.dq_size
+            )
+            self.projection_s += time.perf_counter() - start
+        return self._focal_kernel
 
     def aitem_allows(self, itemset: Itemset) -> bool:
         """Whether every item of ``itemset`` lies in the query's Aitem."""
@@ -156,7 +277,7 @@ def make_context(
 # ---------------------------------------------------------------------------
 
 
-def op_search(ctx: QueryContext) -> list[Candidate]:
+def op_search(ctx: QueryContext) -> CandidateArray:
     """SEARCH: MIPs overlapping the focal region, with exact classification.
 
     Probes the R-tree with the region's hull interval (no false negatives)
@@ -166,7 +287,7 @@ def op_search(ctx: QueryContext) -> list[Candidate]:
     return _search(ctx, name="SEARCH", min_count=None)
 
 
-def op_supported_search(ctx: QueryContext) -> list[Candidate]:
+def op_supported_search(ctx: QueryContext) -> CandidateArray:
     """SUPPORTED-SEARCH: SEARCH plus the global-count upper-bound filter.
 
     Entries (and whole subtrees) whose global count cannot reach
@@ -175,32 +296,57 @@ def op_supported_search(ctx: QueryContext) -> list[Candidate]:
     return _search(ctx, name="SUPPORTED-SEARCH", min_count=ctx.min_count)
 
 
-def _search(ctx: QueryContext, name: str, min_count: int | None) -> list[Candidate]:
+def _search(ctx: QueryContext, name: str, min_count: int | None) -> CandidateArray:
     start = time.perf_counter()
     hull = ctx.focal.hull()
-    if min_count is None:
-        result = ctx.index.rtree.search(hull)
+    hits = ctx.index.rtree.search_arrays(hull, min_count=min_count)
+    if hits is not None:
+        # Array-native fast path: payload rows and global counts straight
+        # from the compiled flat leaf level — no Entry objects anywhere.
+        rows = hits.rows.astype(np.intp, copy=False)
+        global_counts = hits.counts.astype(np.int64, copy=False)
+        nodes_visited = hits.nodes_visited
+        hull_hits = len(hits)
     else:
-        result = ctx.index.rtree.search_supported(hull, min_count)
+        # Pointer fallback (stale or missing compile): rebuild the arrays
+        # from the entry list.  Same hit set and nodes_visited either way.
+        result = (
+            ctx.index.rtree.search(hull)
+            if min_count is None
+            else ctx.index.rtree.search_supported(hull, min_count)
+        )
+        entries = result.entries
+        rows = np.fromiter(
+            (entry.payload.row for entry in entries),
+            dtype=np.intp,
+            count=len(entries),
+        )
+        global_counts = np.fromiter(
+            (entry.count for entry in entries),
+            dtype=np.int64,
+            count=len(entries),
+        )
+        nodes_visited = result.nodes_visited
+        hull_hits = len(entries)
     # Exact classification of the hits in one vectorized pass (equivalent
     # to FocalRange.classify per box — asserted by the operator tests).
     # Only the hit rows' fixed values are gathered and classified: the
     # hull usually returns a handful of hits, so classifying all N MIPs
     # (as the first kernel cut did) wasted a full-index pass per query.
-    candidates: list[Candidate] = []
-    if result.entries:
-        hit_mips: list[MIP] = [entry.payload for entry in result.entries]
-        rows = np.fromiter(
-            (mip.row for mip in hit_mips), dtype=np.intp, count=len(hit_mips)
-        )
+    if len(rows):
         overlaps, contained = ctx.focal.classify_all(
             ctx.index.stats.mip_fixed_values.take(rows, axis=0)
         )
-        for mip, is_overlap, is_contained in zip(hit_mips, overlaps, contained):
-            if not is_overlap:
-                continue
-            overlap = Overlap.CONTAINED if is_contained else Overlap.PARTIAL
-            candidates.append((mip, overlap))
+        candidates = CandidateArray(
+            ctx.index, rows[overlaps], global_counts[overlaps], contained[overlaps]
+        )
+    else:
+        candidates = CandidateArray(
+            ctx.index,
+            rows,
+            global_counts,
+            np.zeros(0, dtype=bool),
+        )
     ctx.trace.add(
         OperatorTrace(
             name=name,
@@ -208,8 +354,8 @@ def _search(ctx: QueryContext, name: str, min_count: int | None) -> list[Candida
             output_size=len(candidates),
             elapsed=time.perf_counter() - start,
             detail={
-                "nodes_visited": result.nodes_visited,
-                "hull_hits": len(result.entries),
+                "nodes_visited": nodes_visited,
+                "hull_hits": hull_hits,
             },
         )
     )
@@ -221,27 +367,61 @@ def _search(ctx: QueryContext, name: str, min_count: int | None) -> list[Candida
 # ---------------------------------------------------------------------------
 
 #: Below this many candidates the batched kernel's fixed numpy overhead
-#: outweighs the per-candidate Python dispatch it saves.
+#: outweighs the per-candidate Python dispatch it saves (list path only).
 _QUALIFY_KERNEL_MIN = 4
 
 
+def _aitem_mask(ctx: QueryContext, rows: np.ndarray) -> np.ndarray:
+    """Vectorized Aitem filter: which MIP rows use only Aitem attributes.
+
+    A MIP violates the filter iff it fixes a value in any attribute outside
+    ``Aitem`` (``mip_fixed_values`` stores ``-1`` for free attributes), so
+    one gather plus one ``any`` over the outside columns decides all rows.
+    Expanded mode admits everything (the filter moves into VERIFY).
+    """
+    aitem = ctx.query.item_attributes
+    if ctx.expand or aitem is None:
+        return np.ones(len(rows), dtype=bool)
+    fixed = ctx.index.stats.mip_fixed_values.take(rows, axis=0)
+    outside = [a for a in range(fixed.shape[1]) if a not in aitem]
+    if not outside:
+        return np.ones(len(rows), dtype=bool)
+    return ~(fixed[:, outside] >= 0).any(axis=1)
+
+
 def _qualify_candidates(
-    ctx: QueryContext, candidates: list[Candidate]
-) -> tuple[list[Qualified], int]:
+    ctx: QueryContext, candidates: "CandidateArray | list[Candidate]"
+) -> "tuple[QualifiedArray | list[Qualified], int]":
     """The record-level minsupp qualification shared by ELIMINATE and
     SUPPORTED-VERIFY (plus the Aitem filter).
 
-    Candidates passing the Aitem filter are qualified in *one* batched
-    kernel call: their rows of the index's packed MIP-tidset matrix are
-    gathered, ANDed with the packed focal tidset, and popcounted together
-    (:func:`repro.kernels.and_count`), instead of one Python big-int
-    intersection per candidate.  Standalone MIPs (``row < 0``, only seen
-    outside a built index) fall back to the scalar reference path; either
-    path produces identical counts.
+    The array path never touches a MIP object: the Aitem filter is one
+    vectorized mask over the gathered fixed-value rows, and qualification
+    is *one* batched kernel call — the surviving rows of the index's
+    packed MIP-tidset matrix are gathered, ANDed with the packed focal
+    tidset, and popcounted together (:func:`repro.kernels.and_count`).
+    List inputs (standalone MIPs, legacy callers) take the original
+    per-candidate path; either path produces identical counts.
 
-    Returns the qualified list (candidate order preserved) and the number
-    of record-level checks performed (the ELIMINATE cost-model feature).
+    Returns the qualified candidates (order preserved) and the number of
+    record-level checks performed (the ELIMINATE cost-model feature).
     """
+    if isinstance(candidates, CandidateArray):
+        keep = _aitem_mask(ctx, candidates.rows)
+        rows = candidates.rows[keep]
+        if len(rows):
+            counts = kernels.and_count(
+                ctx.index.mip_tidset_matrix.take(rows, axis=0), ctx.packed_dq()
+            )
+        else:
+            counts = np.zeros(0, dtype=np.int64)
+        qualifies = counts >= ctx.min_count
+        return (
+            QualifiedArray(
+                ctx.index, rows[qualifies], counts[qualifies].astype(np.int64)
+            ),
+            int(len(rows)),
+        )
     checked = [
         cand
         for cand in candidates
@@ -271,7 +451,9 @@ def _qualify_candidates(
     return qualified, len(checked)
 
 
-def op_eliminate(ctx: QueryContext, candidates: list[Candidate]) -> list[Qualified]:
+def op_eliminate(
+    ctx: QueryContext, candidates: "CandidateArray | list[Candidate]"
+) -> "QualifiedArray | list[Qualified]":
     """ELIMINATE: record-level minsupp check (plus the Aitem filter).
 
     Every surviving candidate carries its exact local support count so
@@ -293,68 +475,263 @@ def op_eliminate(ctx: QueryContext, candidates: list[Candidate]) -> list[Qualifi
     return qualified
 
 
+def qualified_from_contained(
+    ctx: QueryContext, contained: "CandidateArray | list[Candidate]"
+) -> "QualifiedArray | list[Qualified]":
+    """Lemma 4.5 shortcut for fully contained candidates (SS-E-U-V).
+
+    A contained MIP's local count *equals* its global count, and
+    SUPPORTED-SEARCH already guaranteed the global count reaches
+    ``min_count`` — so contained candidates become qualified without any
+    record-level work (only the cheap Aitem filter applies outside
+    expanded mode).  On the array path the global counts ride along from
+    the supported R-tree's leaf level, so this is a masked copy.
+    """
+    if isinstance(contained, CandidateArray):
+        keep = _aitem_mask(ctx, contained.rows)
+        return QualifiedArray(
+            ctx.index,
+            contained.rows[keep],
+            contained.global_counts[keep].astype(np.int64),
+        )
+    return [
+        (mip, mip.global_count)
+        for mip, _ in contained
+        if ctx.expand or ctx.aitem_allows(mip.itemset)
+    ]
+
+
 # ---------------------------------------------------------------------------
 # VERIFY and SUPPORTED-VERIFY
 # ---------------------------------------------------------------------------
 
 
-def op_verify(ctx: QueryContext, qualified: list[Qualified]) -> list[Rule]:
+def op_verify(
+    ctx: QueryContext, qualified: "QualifiedArray | list[Qualified]"
+) -> list[Rule]:
     """VERIFY: rule generation and minconf checks over the IT-tree."""
     start = time.perf_counter()
-    rules, lookups = _rules_from_qualified(ctx, qualified)
+    projection_before = ctx.projection_s
+    rules, lookups, kernel_s = _rules_from_qualified(ctx, qualified)
+    elapsed = time.perf_counter() - start
     ctx.trace.add(
         OperatorTrace(
             name="VERIFY",
             input_size=len(qualified),
             output_size=len(rules),
-            elapsed=time.perf_counter() - start,
-            detail={"support_lookups": lookups},
+            elapsed=elapsed,
+            detail={
+                "support_lookups": lookups,
+                "mining_s": 0.0,
+                "rulegen_s": elapsed,
+                "kernel_s": kernel_s,
+                "projection_s": ctx.projection_s - projection_before,
+            },
         )
     )
     return rules
 
 
-def op_supported_verify(ctx: QueryContext, candidates: list[Candidate]) -> list[Rule]:
+def op_supported_verify(
+    ctx: QueryContext, candidates: "CandidateArray | list[Candidate]"
+) -> list[Rule]:
     """SUPPORTED-VERIFY: selection pushed up into verification (Section 4.2).
 
     The minsupp check is interleaved with rule generation in a single pass,
     avoiding ELIMINATE's separate materialized intermediate when it would
-    filter little.
+    filter little.  The trace still splits the wall time: the embedded
+    qualification is ``mining_s``, the rest is ``rulegen_s``.
     """
     start = time.perf_counter()
+    projection_before = ctx.projection_s
     qualified, record_checks = _qualify_candidates(ctx, candidates)
-    rules, lookups = _rules_from_qualified(ctx, qualified)
+    mining_s = time.perf_counter() - start
+    rules, lookups, kernel_s = _rules_from_qualified(ctx, qualified)
+    elapsed = time.perf_counter() - start
     ctx.trace.add(
         OperatorTrace(
             name="SUPPORTED-VERIFY",
             input_size=len(candidates),
             output_size=len(rules),
-            elapsed=time.perf_counter() - start,
-            detail={"record_checks": record_checks, "support_lookups": lookups},
+            elapsed=elapsed,
+            detail={
+                "record_checks": record_checks,
+                "support_lookups": lookups,
+                "mining_s": mining_s,
+                "rulegen_s": elapsed - mining_s,
+                "kernel_s": kernel_s,
+                "projection_s": ctx.projection_s - projection_before,
+            },
         )
     )
     return rules
 
 
-def _rules_from_qualified(
-    ctx: QueryContext, qualified: list[Qualified]
-) -> tuple[list[Rule], int]:
-    """Generate localized rules from support-qualified candidates.
+#: Sort key for the canonical rule order (C-speed, no lambda frames).
+_RULE_ORDER = attrgetter("antecedent", "consequent")
 
-    Support of antecedents (and, in expanded mode, of sub-itemsets) is the
-    record-level count ``|t(X) ∩ D^Q|``, served by a memoized big-int AND
-    chain per *distinct* itemset; the cache is pre-seeded with the exact
-    counts the batched ELIMINATE kernel already produced for the qualified
-    candidates themselves.  Eagerly batching the antecedent families
-    through the packed kernels was tried and measured as a net loss here
-    — see DESIGN.md's performance-architecture notes — because lookups
-    are confidence-pruned, heavily shared across overlapping closures,
-    and each scalar AND shrinks with the focal tidset, while a batch pays
-    full-universe-width rows for counts that are mostly cache hits.
-    (Equivalent to the IT-tree closure lookup of
-    :meth:`ClosedITTree.local_support_count` for every itemset above the
-    primary floor, and exact below it too; the bitmask path is what makes
-    VERIFY's "record-level check" cheap.)
+#: Widest itemset the mask-indexed lattice path handles before falling back
+#: to the tuple-keyed ``count_family`` path (``2**n`` lattice slots and, in
+#: expanded mode, a ~``3**n``-entry split table).  Itemsets are bounded by
+#: the schema's attribute count, so real workloads sit far below this.
+_LATTICE_MAX_WIDTH = 16
+
+
+def _rules_from_qualified(
+    ctx: QueryContext, qualified: "QualifiedArray | list[Qualified]"
+) -> tuple[list[Rule], int, float]:
+    """Generate localized rules from support-qualified candidates, batched.
+
+    All supports are served by the focal-projected kernel.  Sources are
+    grouped by itemset width ``n`` and each group's *entire subset
+    lattice* is evaluated at once — ``2**n`` vectorized ANDs over
+    ``|D^Q|``-bit rows plus one batched popcount
+    (:meth:`repro.kernels.FocalKernel.count_subset_lattice`) — after which
+    every antecedent/consequent confidence is checked in one vectorized
+    pass and tuples materialize only for rules that pass ``minconf``
+    (:func:`repro.itemsets.rules.rules_from_subset_lattices`).  No
+    per-subset Python object is ever built for splits that fail, and the
+    canonical rule order is produced by a numeric ``lexsort`` over packed
+    item ranks instead of a comparison sort over tuples.
+
+    This supersedes the per-lookup big-int AND chain kept in
+    :func:`_rules_from_qualified_reference` on both axes that sank the
+    first batched attempt (see docs/performance.md): the projection makes
+    each AND ``|D^Q|/64`` words instead of ``n/64``, and the mask-indexed
+    lattice removes the tuple-domain bookkeeping (family sets, memo
+    probes, per-subset hashing) that made eager enumeration lose to the
+    reference's confidence pruning.  Pathologically wide itemsets
+    (``> _LATTICE_MAX_WIDTH`` items) fall back to the tuple-keyed
+    ``count_family`` + :func:`rules_from_counts` path, which has no
+    exponential table.
+
+    Returns ``(rules, kernel_evaluations, kernel_seconds)``; the latter two
+    feed the VERIFY trace detail.
+    """
+    kernel = ctx.focal_kernel()
+    evaluations_before = kernel.evaluations
+    pairs = [(mip.itemset, int(local)) for mip, local in qualified]
+    for itemset, local in pairs:
+        kernel.seed(itemset, local)
+    kernel_s = 0.0
+
+    if not ctx.expand:
+        # Closed mode: the qualified closures themselves are the sources.
+        sources: list[Itemset] = []
+        source_seen: set[Itemset] = set()
+        for itemset, local in pairs:
+            if len(itemset) >= 2 and local > 0 and itemset not in source_seen:
+                source_seen.add(itemset)
+                sources.append(itemset)
+    else:
+        # Expanded mode: every locally frequent sub-itemset (within Aitem)
+        # of the qualified closures is a source; all six plans then return
+        # the same rule set whenever the primary floor covers the query
+        # (DESIGN.md).  Discovery — lattice counts over the deduped
+        # Aitem-allowed closures, qualification against the focal floor,
+        # and collapse of sub-itemsets shared by overlapping closures —
+        # all happens in array space inside the kernel.
+        allowed_seen: set[Itemset] = set()
+        for itemset, _local in pairs:
+            allowed = make_itemset(
+                item
+                for item in itemset
+                if ctx.query.item_attributes is None
+                or item.attribute in ctx.query.item_attributes
+            )
+            if len(allowed) >= 2:
+                allowed_seen.add(allowed)
+        narrow = [s for s in allowed_seen if len(s) <= _LATTICE_MAX_WIDTH]
+        t0 = time.perf_counter()
+        sources = kernel.frequent_subsets(narrow, ctx.min_count)
+        kernel_s += time.perf_counter() - t0
+        if len(narrow) < len(allowed_seen):  # pragma: no cover - huge schema
+            sources = _merge_wide_sources(
+                ctx, kernel, allowed_seen, sources
+            )
+
+    by_width: dict[int, list[Itemset]] = {}
+    for itemset in sources:
+        by_width.setdefault(len(itemset), []).append(itemset)
+    wide: list[Itemset] = []
+    groups: list[tuple[list[Itemset], "np.ndarray"]] = []
+    for n in sorted(by_width):
+        group = by_width[n]
+        if n > _LATTICE_MAX_WIDTH:
+            wide.extend(group)
+            continue
+        t0 = time.perf_counter()
+        counts = kernel.count_subset_lattice(group)
+        kernel_s += time.perf_counter() - t0
+        groups.append((group, counts))
+    rules = rules_from_subset_lattices(
+        groups,
+        ctx.dq_size,
+        ctx.query.minconf,
+        min_count=ctx.min_count if ctx.expand else None,
+    )
+    if wide:  # pragma: no cover - beyond any schema in this repo
+        family: set[Itemset] = set()
+        for itemset in wide:
+            n = len(itemset)
+            for mask in range(1, (1 << n) - 1):
+                family.add(
+                    tuple(itemset[k] for k in range(n) if mask >> k & 1)
+                )
+        t0 = time.perf_counter()
+        kernel.count_family(family)
+        kernel_s += time.perf_counter() - t0
+        rules.extend(
+            rules_from_counts(
+                wide,
+                kernel.count,
+                ctx.dq_size,
+                ctx.query.minconf,
+                min_count=ctx.min_count if ctx.expand else None,
+            )
+        )
+        rules.sort(key=_RULE_ORDER)
+    return rules, kernel.evaluations - evaluations_before, kernel_s
+
+
+def _merge_wide_sources(
+    ctx: QueryContext,
+    kernel: "kernels.FocalKernel",
+    allowed_seen: "set[Itemset]",
+    sources: list[Itemset],
+) -> list[Itemset]:  # pragma: no cover - beyond any schema in this repo
+    """Expanded-mode fallback for pathologically wide closures: enumerate
+    their frequent sub-itemsets through the tuple-keyed family path and
+    merge with the lattice-discovered ``sources``."""
+    family: set[Itemset] = set()
+    for allowed in allowed_seen:
+        n = len(allowed)
+        if n <= _LATTICE_MAX_WIDTH:
+            continue
+        for mask in range(1, 1 << n):
+            family.add(
+                tuple(allowed[i] for i in range(n) if mask >> i & 1)
+            )
+    kernel.count_family(family)
+    floor = max(ctx.min_count, 1)
+    merged = set(sources)
+    for itemset in family:
+        if len(itemset) >= 2 and kernel.count(itemset) >= floor:
+            merged.add(itemset)
+    return sorted(merged)
+
+
+def _rules_from_qualified_reference(
+    ctx: QueryContext, qualified: "QualifiedArray | list[Qualified]"
+) -> tuple[list[Rule], int]:
+    """The scalar reference path: memoized big-int AND chain per lookup.
+
+    Kept verbatim as the parity oracle for the batched kernel path — the
+    property suite and the rule-generation benchmark assert byte-identical
+    rule sets between the two — and as the fallback semantics
+    documentation: equivalent to the IT-tree closure lookup of
+    ``ClosedITTree.local_support_count`` for every itemset above the
+    primary floor, and exact below it too.
     """
     item_tidsets = ctx.index.table.item_tidsets()
     cache: dict[Itemset, int | None] = {}
@@ -387,9 +764,6 @@ def _rules_from_qualified(
         rules.sort(key=lambda r: (r.antecedent, r.consequent))
         return rules, lookups
 
-    # Expanded mode: enumerate every locally frequent sub-itemset (within
-    # Aitem) of the qualified candidates; all six plans then return the same
-    # rule set whenever the primary floor covers the query (DESIGN.md).
     family: set[Itemset] = set()
     for mip, _local in qualified:
         allowed = make_itemset(
@@ -417,11 +791,21 @@ def _rules_from_qualified(
 
 
 def op_union(
-    ctx: QueryContext, contained: list[Qualified], partial: list[Qualified]
-) -> list[Qualified]:
-    """UNION: merge the two mutually exclusive qualified lists (constant cost)."""
+    ctx: QueryContext,
+    contained: "QualifiedArray | list[Qualified]",
+    partial: "QualifiedArray | list[Qualified]",
+) -> "QualifiedArray | list[Qualified]":
+    """UNION: merge the two mutually exclusive qualified lists (constant cost).
+
+    Two array inputs concatenate without touching a MIP object; mixed or
+    list inputs merge as plain lists.
+    """
     start = time.perf_counter()
-    merged = contained + partial
+    merged: QualifiedArray | list[Qualified]
+    if isinstance(contained, QualifiedArray) and isinstance(partial, QualifiedArray):
+        merged = QualifiedArray.concat(contained, partial)
+    else:
+        merged = list(contained) + list(partial)
     ctx.trace.add(
         OperatorTrace(
             name="UNION",

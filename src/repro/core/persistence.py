@@ -84,8 +84,10 @@ def save_index(
     if flat is not None:
         for key, arr in flat.to_arrays().items():
             arrays[_FLAT_PREFIX + key] = arr
+        # The cached per-slot row vector — no Entry materialization on save,
+        # matching the Entry-free load path below.
         arrays[_FLAT_PREFIX + "payload_rows"] = np.asarray(
-            [entry.payload.row for entry in flat.leaf_entries], dtype=np.int64
+            flat.payload_rows, dtype=np.int64
         )
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
@@ -161,7 +163,11 @@ def _attach_flat(
     The stored ``payload_rows`` map each leaf slot to a MIP row; since the
     packed pointer tree and the MIP enumeration are deterministic functions
     of the (verified) table, attaching the stored compile is equivalent to
-    recompiling — without walking the object graph again.
+    recompiling — without walking the object graph again.  The attached
+    tree is *payload-first*: no leaf :class:`~repro.rtree.node.Entry`
+    objects are rebuilt here (``search_hits`` serves straight from the
+    arrays; entries materialize lazily only for the legacy per-entry
+    search).
     """
     try:
         rows = np.asarray(arrays.pop("payload_rows"), dtype=np.int64)

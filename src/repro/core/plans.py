@@ -38,8 +38,9 @@ from repro.core.operators import (
     op_supported_verify,
     op_union,
     op_verify,
+    qualified_from_contained,
 )
-from repro.core.query import LocalizedQuery, Overlap
+from repro.core.query import LocalizedQuery
 from repro.errors import QueryError
 from repro.itemsets.rules import Rule
 
@@ -112,17 +113,13 @@ def _run_ssvs(ctx: QueryContext) -> list[Rule]:
 
 def _run_sseuv(ctx: QueryContext) -> list[Rule]:
     candidates = op_supported_search(ctx)
-    contained = [c for c in candidates if c[1] is Overlap.CONTAINED]
-    partial = [c for c in candidates if c[1] is Overlap.PARTIAL]
+    contained, partial = candidates.split_overlap()
     # Lemma 4.5: a contained MIP's local count equals its global count, and
     # SUPPORTED-SEARCH already guaranteed global count >= min_count — so
     # contained MIPs skip the record-level ELIMINATE entirely (only the
-    # cheap Aitem filter applies outside expanded mode).
-    contained_qualified = [
-        (mip, mip.global_count)
-        for mip, _ in contained
-        if ctx.expand or ctx.aitem_allows(mip.itemset)
-    ]
+    # cheap Aitem filter applies outside expanded mode); the counts ride
+    # along as arrays from the supported R-tree's leaf level.
+    contained_qualified = qualified_from_contained(ctx, contained)
     partial_qualified = op_eliminate(ctx, partial)
     merged = op_union(ctx, contained_qualified, partial_qualified)
     return op_verify(ctx, merged)

@@ -13,14 +13,24 @@ operator is this module parameterized by local counts.
 
 from __future__ import annotations
 
+import operator
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.dataset.schema import Schema
 from repro.errors import DataError
 from repro.itemsets.itemset import Itemset, make_itemset
 
-__all__ = ["Rule", "generate_rules", "rules_from_itemsets"]
+__all__ = [
+    "Rule",
+    "generate_rules",
+    "rules_from_itemsets",
+    "rules_from_counts",
+    "rules_from_subset_lattice",
+    "rules_from_subset_lattices",
+]
 
 #: Returns the support count of an itemset within the current universe, or
 #: ``None`` when the count is unavailable (below the index's primary floor).
@@ -152,3 +162,376 @@ def rules_from_itemsets(
                 out.append(rule)
     out.sort(key=lambda r: (r.antecedent, r.consequent))
     return out
+
+
+def rules_from_counts(
+    itemsets: Iterable[Itemset],
+    count_of: Callable[[Itemset], int],
+    universe_count: int,
+    minconf: float,
+    min_count: int | None = None,
+) -> list[Rule]:
+    """Batched rule extraction from pre-computed support counts.
+
+    The array-native sibling of :func:`rules_from_itemsets`: ``count_of``
+    must return an exact support count for every source itemset *and every
+    proper non-empty sub-itemset* of the sources (a
+    :class:`repro.kernels.FocalKernel` whose family has been evaluated
+    satisfies this).  All antecedent/consequent splits are enumerated
+    eagerly and confidences are evaluated in one vectorized pass.
+
+    This produces *exactly* the same rule set as the consequent-growth
+    generator: pruning there is lossless (dropping a consequent only skips
+    supersets whose confidence is provably lower, never a passing rule),
+    deduplication is a no-op because ``antecedent ∪ consequent`` uniquely
+    determines the source itemset, and the float64 division here matches
+    Python int division for any counts below ``2**53``.
+
+    ``min_count`` filters *source* itemsets below the support floor (the
+    expanded-mode caller passes the focal minimum count); sub-itemsets are
+    never filtered — they only serve as antecedents.
+    """
+    if not 0.0 <= minconf <= 1.0:
+        raise DataError(f"minconf must be in [0, 1], got {minconf}")
+    antecedents: list[Itemset] = []
+    consequents: list[Itemset] = []
+    i_counts: list[int] = []
+    a_counts: list[int] = []
+    seen: set[tuple[Itemset, Itemset]] = set()
+    for itemset in itemsets:
+        if len(itemset) < 2:
+            continue
+        itemset_count = count_of(itemset)
+        if itemset_count is None or itemset_count == 0:
+            continue
+        if min_count is not None and itemset_count < min_count:
+            continue
+        n = len(itemset)
+        for mask in range(1, (1 << n) - 1):
+            antecedent = tuple(
+                itemset[k] for k in range(n) if mask >> k & 1
+            )
+            consequent = tuple(
+                itemset[k] for k in range(n) if not mask >> k & 1
+            )
+            key = (antecedent, consequent)
+            if key in seen:
+                continue
+            seen.add(key)
+            antecedents.append(antecedent)
+            consequents.append(consequent)
+            i_counts.append(itemset_count)
+            a_counts.append(count_of(antecedent))
+    if not antecedents:
+        return []
+    ic = np.asarray(i_counts, dtype=np.int64)
+    ac = np.asarray(a_counts, dtype=np.int64)
+    ok = ac > 0
+    conf = np.zeros(len(ic), dtype=np.float64)
+    np.divide(ic, ac, out=conf, where=ok)
+    keep = ok & (conf >= minconf)
+    supp = (
+        ic / universe_count
+        if universe_count
+        else np.zeros(len(ic), dtype=np.float64)
+    )
+    out = [
+        Rule(
+            antecedents[i],
+            consequents[i],
+            int(ic[i]),
+            float(supp[i]),
+            float(conf[i]),
+        )
+        for i in np.flatnonzero(keep)
+    ]
+    out.sort(key=lambda r: (r.antecedent, r.consequent))
+    return out
+
+
+
+# ---------------------------------------------------------------------------
+# Mask-indexed extraction over whole subset lattices
+# ---------------------------------------------------------------------------
+
+#: Cached per-width split accessors: for width ``n``, entry ``p`` describes
+#: the split whose antecedent is submask ``p + 1`` of the full itemset —
+#: C-speed ``itemgetter``s building the antecedent/consequent tuples.
+_SPLIT_GETTERS: dict[int, tuple[list, list]] = {}
+
+
+def _tuple_getter(positions: list[int]):
+    """A callable mapping an itemset tuple to the sub-tuple at positions."""
+    if len(positions) == 1:
+        pos = positions[0]
+        return lambda s: (s[pos],)
+    return operator.itemgetter(*positions)
+
+
+def _split_getters(n: int) -> tuple[list, list]:
+    """Antecedent/consequent getters for every proper non-empty split of a
+    width-``n`` itemset, indexed by ``antecedent_mask - 1`` (built once)."""
+    cached = _SPLIT_GETTERS.get(n)
+    if cached is not None:
+        return cached
+    ants: list = []
+    cons: list = []
+    for mask in range(1, (1 << n) - 1):
+        ants.append(_tuple_getter([b for b in range(n) if mask >> b & 1]))
+        cons.append(
+            _tuple_getter([b for b in range(n) if not mask >> b & 1])
+        )
+    table = (ants, cons)
+    _SPLIT_GETTERS[n] = table
+    return table
+
+
+def rules_from_subset_lattice(
+    itemsets: Sequence[Itemset],
+    counts: np.ndarray,
+    universe_count: int,
+    minconf: float,
+    *,
+    min_count: int | None = None,
+    seen: "set[tuple[Itemset, Itemset]] | None" = None,
+) -> list[Rule]:
+    """Vectorized rule extraction from mask-indexed subset-lattice counts.
+
+    ``itemsets`` are *distinct* same-length (``n``) sorted tuples and
+    ``counts`` the matching ``(m, 2**n)`` matrix from
+    :meth:`repro.kernels.FocalKernel.count_subset_lattice`:
+    ``counts[j, mask]`` is the support of the sub-itemset of
+    ``itemsets[j]`` selected by ``mask``'s bits.  Each itemset is a rule
+    source; every proper non-empty antecedent/consequent split is checked
+    in one vectorized confidence pass, and Python objects (two cached
+    ``itemgetter`` calls and one :class:`Rule`) materialize only for
+    splits that pass ``minconf`` — the interpreter cost is proportional to
+    the emitted rule set, not the enumerated lattice.
+
+    ``min_count`` (floored at 1) filters source supports.  Because
+    ``antecedent ∪ consequent`` uniquely determines the source and sources
+    are distinct, emitted rules are distinct; ``seen`` is only needed when
+    a caller stitches together lattices whose sources may repeat across
+    calls.  Rules are returned unsorted; callers sort the concatenation.
+    """
+    if not 0.0 <= minconf <= 1.0:
+        raise DataError(f"minconf must be in [0, 1], got {minconf}")
+    m = len(itemsets)
+    if m == 0:
+        return []
+    n = len(itemsets[0])
+    if n < 2:
+        return []
+    floor = max(min_count if min_count is not None else 1, 1)
+    full = (1 << n) - 1
+    ant_getters, cons_getters = _split_getters(n)
+    rules: list[Rule] = []
+    # Chunk the (m_c, 2**n - 2) confidence slabs to a fixed footprint.
+    chunk = max(1, (4 << 20) // max(1, full - 1))
+    for lo in range(0, m, chunk):
+        hi = min(m, lo + chunk)
+        source_counts = counts[lo:hi, full]
+        ac = counts[lo:hi, 1:full]  # column p: antecedent mask p + 1
+        ok = (source_counts[:, None] >= floor) & (ac > 0)
+        conf = np.zeros(ac.shape, dtype=np.float64)
+        np.divide(source_counts[:, None], ac, out=conf, where=ok)
+        keep = ok & (conf >= minconf)
+        js, ps = np.nonzero(keep)
+        if len(js) == 0:
+            continue
+        kept_ic = source_counts[js]
+        # True division, not a reciprocal multiply: bit-identical to the
+        # scalar reference's ``count / universe`` for counts below 2**53.
+        kept_supp = (
+            kept_ic / universe_count
+            if universe_count
+            else np.zeros(len(js), dtype=np.float64)
+        )
+        kept = zip(
+            js.tolist(),
+            ps.tolist(),
+            kept_ic.tolist(),
+            kept_supp.tolist(),
+            conf[js, ps].tolist(),
+        )
+        if seen is None:
+            append = rules.append
+            for j, p, count_, supp, conf_ in kept:
+                source = itemsets[lo + j]
+                append(
+                    Rule(
+                        ant_getters[p](source),
+                        cons_getters[p](source),
+                        count_,
+                        supp,
+                        conf_,
+                    )
+                )
+        else:
+            for j, p, count_, supp, conf_ in kept:
+                source = itemsets[lo + j]
+                antecedent = ant_getters[p](source)
+                consequent = cons_getters[p](source)
+                key = (antecedent, consequent)
+                if key in seen:
+                    continue
+                seen.add(key)
+                rules.append(
+                    Rule(antecedent, consequent, count_, supp, conf_)
+                )
+    return rules
+
+
+def rules_from_subset_lattices(
+    groups: "Sequence[tuple[Sequence[Itemset], np.ndarray]]",
+    universe_count: int,
+    minconf: float,
+    *,
+    min_count: int | None = None,
+) -> list[Rule]:
+    """Globally sorted rule extraction across several subset-lattice groups.
+
+    ``groups`` pairs each same-width source batch with its
+    :meth:`~repro.kernels.FocalKernel.count_subset_lattice` matrix (sources
+    must be distinct across *all* groups).  Beyond running the vectorized
+    confidence pass of :func:`rules_from_subset_lattice` per group, the
+    canonical ``(antecedent, consequent)`` output order is produced
+    *numerically*: every kept split's antecedent/consequent item ranks are
+    compacted into fixed-width packed integer keys (pad rank 0 sorts
+    shorter tuples first, exactly like tuple comparison) and one
+    ``np.lexsort`` replaces the comparison sort over Python tuple keys —
+    so :class:`Rule` objects are built once, already in final order.
+
+    Falls back to per-group extraction plus a tuple-keyed sort in the
+    (never-observed) case of more than ``2**16 - 1`` distinct items.
+    """
+    if not 0.0 <= minconf <= 1.0:
+        raise DataError(f"minconf must be in [0, 1], got {minconf}")
+    live = [
+        (list(itemsets), counts)
+        for itemsets, counts in groups
+        if len(itemsets) and len(itemsets[0]) >= 2
+    ]
+    if not live:
+        return []
+    distinct = sorted({item for itemsets, _ in live for s in itemsets for item in s})
+    if len(distinct) >= (1 << 16) - 1:  # pragma: no cover - absurd schema
+        out: list[Rule] = []
+        for itemsets, counts in live:
+            out.extend(
+                rules_from_subset_lattice(
+                    itemsets, counts, universe_count, minconf,
+                    min_count=min_count,
+                )
+            )
+        out.sort(key=operator.attrgetter("antecedent", "consequent"))
+        return out
+    rank_of = {item: r + 1 for r, item in enumerate(distinct)}
+    floor = max(min_count if min_count is not None else 1, 1)
+    n_pad = max(len(itemsets[0]) for itemsets, _ in live)
+    slots = 2 * n_pad
+    n_words = -(-slots // 4)  # four 16-bit ranks per packed int64 word
+    shifts = np.array([48, 32, 16, 0], dtype=np.int64)
+
+    kept_keys: list[np.ndarray] = []
+    kept_gid: list[int] = []
+    kept_js: list[np.ndarray] = []
+    kept_ps: list[np.ndarray] = []
+    kept_ic: list[np.ndarray] = []
+    kept_supp: list[np.ndarray] = []
+    kept_conf: list[np.ndarray] = []
+    getters_by_group: list[tuple[list, list]] = []
+    pad = np.int64(1) << np.int64(40)  # sorts after every real rank
+
+    for gid, (itemsets, counts) in enumerate(live):
+        m = len(itemsets)
+        n = len(itemsets[0])
+        full = (1 << n) - 1
+        getters_by_group.append(_split_getters(n))
+        ranks = np.array(
+            [[rank_of[item] for item in s] for s in itemsets], dtype=np.int64
+        )
+        masks = np.arange(1, full, dtype=np.int64)
+        ant_table = ((masks[:, None] >> np.arange(n)) & 1).astype(bool)
+        chunk = max(1, (4 << 20) // max(1, full - 1))
+        for lo in range(0, m, chunk):
+            hi = min(m, lo + chunk)
+            source_counts = counts[lo:hi, full]
+            ac = counts[lo:hi, 1:full]
+            ok = (source_counts[:, None] >= floor) & (ac > 0)
+            conf = np.zeros(ac.shape, dtype=np.float64)
+            np.divide(source_counts[:, None], ac, out=conf, where=ok)
+            keep = ok & (conf >= minconf)
+            js, ps = np.nonzero(keep)
+            if len(js) == 0:
+                continue
+            ic = source_counts[js]
+            # True division: bit-identical to the scalar reference's
+            # ``count / universe`` for counts below 2**53.
+            supp = (
+                ic / universe_count
+                if universe_count
+                else np.zeros(len(js), dtype=np.float64)
+            )
+            sel = ant_table[ps]  # (K, n) — bits of antecedent mask p + 1
+            src_ranks = ranks[lo + js]
+            # Compact selected ranks to the left, in order: sources are
+            # sorted so their ranks ascend, and an ascending sort with an
+            # oversized placeholder both compacts and preserves order.
+            ant = np.where(sel, src_ranks, pad)
+            ant.sort(axis=1)
+            ant[ant == pad] = 0
+            con = np.where(sel, pad, src_ranks)
+            con.sort(axis=1)
+            con[con == pad] = 0
+            padded = np.zeros((len(js), n_words * 4), dtype=np.int64)
+            padded[:, :n] = ant
+            padded[:, n_pad:n_pad + n] = con
+            words = np.bitwise_or.reduce(
+                padded.reshape(len(js), n_words, 4) << shifts, axis=2
+            )
+            kept_keys.append(words)
+            kept_gid.append(gid)
+            kept_js.append(js + lo)
+            kept_ps.append(ps)
+            kept_ic.append(ic)
+            kept_supp.append(supp)
+            kept_conf.append(conf[js, ps])
+
+    if not kept_keys:
+        return []
+    keys = np.concatenate(kept_keys, axis=0)
+    gids = np.concatenate(
+        [np.full(len(a), g, dtype=np.int64) for g, a in zip(kept_gid, kept_js)]
+    )
+    js_all = np.concatenate(kept_js)
+    ps_all = np.concatenate(kept_ps)
+    ic_all = np.concatenate(kept_ic)
+    supp_all = np.concatenate(kept_supp)
+    conf_all = np.concatenate(kept_conf)
+    order = np.lexsort(keys.T[::-1])
+
+    gid_l = gids[order].tolist()
+    js_l = js_all[order].tolist()
+    ps_l = ps_all[order].tolist()
+    ic_l = ic_all[order].tolist()
+    supp_l = supp_all[order].tolist()
+    conf_l = conf_all[order].tolist()
+    itemsets_by_group = [itemsets for itemsets, _ in live]
+    rules: list[Rule] = []
+    append = rules.append
+    for g, j, p, count_, supp_, conf_ in zip(
+        gid_l, js_l, ps_l, ic_l, supp_l, conf_l
+    ):
+        source = itemsets_by_group[g][j]
+        ant_getters, cons_getters = getters_by_group[g]
+        append(
+            Rule(
+                ant_getters[p](source),
+                cons_getters[p](source),
+                count_,
+                supp_,
+                conf_,
+            )
+        )
+    return rules

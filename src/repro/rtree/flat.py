@@ -27,6 +27,14 @@ identical to :meth:`RTree.search` on every query (asserted by the property
 suite), keeping the R-tree cost model (:mod:`repro.rtree.costmodel`) and
 its calibration pricing the same unit.
 
+Since the array-native pipeline (PR 5) the leaf level is *payload-first*:
+the compiled tree stores a payload table plus cached ``payload_rows`` /
+global-count arrays, and :meth:`search_hits` returns a :class:`FlatHits`
+bundle of contiguous arrays (leaf slots, payload rows, global counts)
+instead of rebuilding :class:`Entry` objects per query.  The per-entry
+:meth:`search` contract is kept for the pointer-parity property tests and
+builds its ``Entry`` list lazily from the same slot vector.
+
 The compiled form is a snapshot: it records the source tree's mutation
 counter, and :class:`~repro.rtree.supported.SupportedRTree` falls back to
 the pointer tree whenever the counters diverge (inserts/deletes), so a
@@ -46,7 +54,28 @@ from repro.rtree.geometry import Rect
 from repro.rtree.node import Entry, Node
 from repro.rtree.rtree import RTree, SearchResult
 
-__all__ = ["FlatLevel", "FlatRTree"]
+__all__ = ["FlatHits", "FlatLevel", "FlatRTree"]
+
+
+@dataclass(frozen=True)
+class FlatHits:
+    """Array-native result of a flat window search.
+
+    The payload-array counterpart of :class:`~repro.rtree.rtree.SearchResult`:
+    ``slots`` are leaf-table indices (leaf-array order), ``rows`` the
+    payloads' index rows (``payload.row``; ``-1`` for payloads without one)
+    and ``counts`` the entries' global support counts.  ``nodes_visited``
+    is byte-identical to the pointer traversal's, so the R-tree cost model
+    prices both paths in the same unit.
+    """
+
+    slots: np.ndarray          # (k,) intp — leaf-table slot per hit
+    rows: np.ndarray           # (k,) int64 — payload rows (MIP ids)
+    counts: np.ndarray         # (k,) int64 — global support counts
+    nodes_visited: int
+
+    def __len__(self) -> int:
+        return len(self.slots)
 
 
 @dataclass(frozen=True)
@@ -103,15 +132,28 @@ class FlatRTree:
         self,
         n_dims: int,
         levels: Sequence[FlatLevel],
-        leaf_entries: Sequence[Entry],
+        leaf_entries: Sequence[Entry] | None = None,
         source_mutations: int = 0,
+        *,
+        payloads: Sequence[object] | None = None,
     ):
+        """Build from either materialized ``leaf_entries`` (the compiler
+        path) or a bare ``payloads`` table (the persistence path — leaf
+        :class:`Entry` objects are then built lazily, only if a caller
+        still asks for the per-entry :meth:`search` contract)."""
         if not levels:
             raise IndexError_("a flat R-tree needs at least the leaf level")
-        if levels[-1].n_entries != len(leaf_entries):
+        if (leaf_entries is None) == (payloads is None):
             raise IndexError_(
-                f"leaf level has {levels[-1].n_entries} entries but the "
-                f"payload table holds {len(leaf_entries)}"
+                "exactly one of leaf_entries / payloads must be given"
+            )
+        n_leaf = levels[-1].n_entries
+        table = leaf_entries if leaf_entries is not None else payloads
+        assert table is not None
+        if n_leaf != len(table):
+            raise IndexError_(
+                f"leaf level has {n_leaf} entries but the "
+                f"payload table holds {len(table)}"
             )
         for upper, lower in zip(levels, levels[1:]):
             if upper.n_entries != lower.n_nodes:
@@ -122,8 +164,55 @@ class FlatRTree:
                 )
         self.n_dims = n_dims
         self.levels = tuple(levels)       # root level first, leaf level last
-        self.leaf_entries = list(leaf_entries)
+        if leaf_entries is not None:
+            self._leaf_entries: list[Entry] | None = list(leaf_entries)
+            self.payloads: list[object] = [e.payload for e in leaf_entries]
+        else:
+            self._leaf_entries = None
+            self.payloads = list(payloads)  # type: ignore[arg-type]
+        self._payload_rows: np.ndarray | None = None
         self.source_mutations = source_mutations
+
+    @property
+    def leaf_entries(self) -> list[Entry]:
+        """The materialized leaf :class:`Entry` table (built lazily).
+
+        Persistence-loaded trees never pay this unless a caller still uses
+        the per-entry :meth:`search`; the array-native pipeline goes
+        through :meth:`search_hits` and the bare payload table instead.
+        """
+        if self._leaf_entries is None:
+            leaf = self.levels[-1]
+            self._leaf_entries = [
+                Entry(
+                    rect=Rect(
+                        tuple(int(v) for v in leaf.lows[j]),
+                        tuple(int(v) for v in leaf.highs[j]),
+                    ),
+                    payload=self.payloads[j],
+                    count=int(leaf.counts[j]),
+                )
+                for j in range(leaf.n_entries)
+            ]
+        return self._leaf_entries
+
+    @property
+    def payload_rows(self) -> np.ndarray:
+        """Per-leaf-slot payload row ids (``payload.row``; ``-1`` if absent).
+
+        One contiguous int64 vector, built once: :meth:`search_hits`
+        answers every query with a gather from this array instead of a
+        Python attribute walk over hit payloads.
+        """
+        if self._payload_rows is None:
+            rows = np.fromiter(
+                (getattr(p, "row", -1) for p in self.payloads),
+                dtype=np.int64,
+                count=len(self.payloads),
+            )
+            rows.setflags(write=False)
+            self._payload_rows = rows
+        return self._payload_rows
 
     # -- construction ------------------------------------------------------
 
@@ -170,7 +259,7 @@ class FlatRTree:
     # -- introspection -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.leaf_entries)
+        return self.levels[-1].n_entries
 
     @property
     def height(self) -> int:
@@ -186,15 +275,14 @@ class FlatRTree:
 
     # -- search ------------------------------------------------------------
 
-    def search(self, query: Rect, min_count: int | None = None) -> SearchResult:
-        """Vectorized window search; same contract as :meth:`RTree.search`.
+    def _matched_leaf_slots(
+        self, query: Rect, min_count: int | None
+    ) -> tuple[np.ndarray, int]:
+        """Shared frontier traversal: matched leaf slots + exact node count.
 
-        Returns the same hit set and the *exact same* ``nodes_visited`` as
-        the pointer traversal: the root plus one per internal entry that
-        passes the overlap test (and, with ``min_count``, the supported
-        filter of Lemma 4.4).  Hits are returned in leaf-array order,
-        which may differ from the pointer tree's stack order; no caller
-        depends on hit order.
+        ``nodes_visited`` equals the pointer traversal's: the root plus one
+        per internal entry that passes the overlap test (and, with
+        ``min_count``, the supported filter of Lemma 4.4).
         """
         if query.n_dims != self.n_dims:
             raise IndexError_(
@@ -210,7 +298,7 @@ class FlatRTree:
                 level.node_offsets[frontier], level.node_offsets[frontier + 1]
             )
             if cand.size == 0:
-                return SearchResult([], visited)
+                return np.empty(0, dtype=np.intp), visited
             mask = np.logical_and(
                 (level.lows[cand] <= q_hi).all(axis=1),
                 (q_lo <= level.highs[cand]).all(axis=1),
@@ -219,14 +307,40 @@ class FlatRTree:
                 mask &= level.counts[cand] >= min_count
             matched = cand[mask]
             if depth == last:
-                return SearchResult(
-                    [self.leaf_entries[j] for j in matched.tolist()], visited
-                )
+                return matched, visited
             # Every matched internal entry's child is pushed — and later
             # popped — by the pointer search, hence counted as visited.
             visited += int(matched.size)
             frontier = matched
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def search(self, query: Rect, min_count: int | None = None) -> SearchResult:
+        """Vectorized window search; same contract as :meth:`RTree.search`.
+
+        Returns the same hit set and the *exact same* ``nodes_visited`` as
+        the pointer traversal.  Hits are returned in leaf-array order,
+        which may differ from the pointer tree's stack order; no caller
+        depends on hit order.
+        """
+        slots, visited = self._matched_leaf_slots(query, min_count)
+        entries = self.leaf_entries
+        return SearchResult([entries[j] for j in slots.tolist()], visited)
+
+    def search_hits(self, query: Rect, min_count: int | None = None) -> FlatHits:
+        """Array-native window search: payload rows and counts, no Entries.
+
+        Same hit set and ``nodes_visited`` as :meth:`search`, but the
+        result stays in contiguous arrays — leaf slots, payload rows (MIP
+        ids) and global counts — so the operator pipeline can carry
+        candidates without materializing one :class:`Entry` per hit.
+        """
+        slots, visited = self._matched_leaf_slots(query, min_count)
+        return FlatHits(
+            slots=slots,
+            rows=self.payload_rows[slots],
+            counts=self.levels[-1].counts[slots],
+            nodes_visited=visited,
+        )
 
     # -- persistence -------------------------------------------------------
 
@@ -255,10 +369,13 @@ class FlatRTree:
     ) -> "FlatRTree":
         """Rebuild a compiled tree from :meth:`to_arrays` output.
 
-        ``payloads[j]`` becomes the payload of leaf slot ``j``; leaf
-        :class:`Entry` objects are reconstructed from the stored boxes and
-        counts.  Structural invariants (CSR monotonicity, child-order
-        cardinalities) are re-validated so a corrupted file fails loudly.
+        ``payloads[j]`` becomes the payload of leaf slot ``j``.  Leaf
+        :class:`Entry` objects are *not* rebuilt here: the loaded tree is
+        payload-first and serves :meth:`search_hits` straight from the
+        stored arrays, materializing entries lazily only if a caller still
+        uses :meth:`search`.  Structural invariants (CSR monotonicity,
+        child-order cardinalities) are re-validated so a corrupted file
+        fails loudly.
         """
         try:
             n_dims, n_levels = (int(x) for x in arrays["shape"])
@@ -288,25 +405,9 @@ class FlatRTree:
             for arr in (offsets, lows, highs, counts):
                 arr.setflags(write=False)
             levels.append(FlatLevel(offsets, lows, highs, counts))
-        leaf = levels[-1]
-        if len(payloads) != leaf.n_entries:
-            raise IndexError_(
-                f"{len(payloads)} payloads for {leaf.n_entries} leaf slots"
-            )
-        leaf_entries = [
-            Entry(
-                rect=Rect(
-                    tuple(int(v) for v in leaf.lows[j]),
-                    tuple(int(v) for v in leaf.highs[j]),
-                ),
-                payload=payloads[j],
-                count=int(leaf.counts[j]),
-            )
-            for j in range(leaf.n_entries)
-        ]
         return cls(
             n_dims=n_dims,
             levels=levels,
-            leaf_entries=leaf_entries,
+            payloads=payloads,
             source_mutations=0,  # matches a freshly packed source tree
         )

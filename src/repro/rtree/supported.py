@@ -16,7 +16,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.rtree.flat import FlatRTree
+from repro.rtree.flat import FlatHits, FlatRTree
 from repro.rtree.geometry import Rect
 from repro.rtree.packing import pack_hilbert, pack_str
 from repro.rtree.rtree import DEFAULT_MAX_ENTRIES, LevelStat, RTree, SearchResult
@@ -91,7 +91,50 @@ class SupportedRTree:
         return self.tree.height
 
     def level_stats(self) -> list[LevelStat]:
+        """Per-level node counts and average MBR extents (cost-model input).
+
+        When a *current* compiled form is attached the stats come from one
+        vectorized ``reduceat`` pass per level over the flat CSR arrays
+        (node MBR = segment min/max of its entries' boxes) instead of the
+        Python pointer walk; both paths return identical values — nodes
+        with no entries are skipped exactly as the pointer walk skips them.
+        """
+        if self.flat_is_current():
+            return self._level_stats_flat()
         return self.tree.level_stats()
+
+    def _level_stats_flat(self) -> list[LevelStat]:
+        assert self.flat is not None
+        stats: list[LevelStat] = []
+        height = self.flat.height
+        # Flat levels are root-first; pointer levels number leaf=0 upward.
+        for depth, lv in enumerate(self.flat.levels):
+            offsets = np.asarray(lv.node_offsets)
+            lens = np.diff(offsets)
+            nonempty = lens > 0
+            n_nodes = int(nonempty.sum())
+            if n_nodes == 0:
+                continue
+            starts = offsets[:-1][nonempty]
+            # Segment min/max over each node's entry slice: the node MBR.
+            node_lows = np.minimum.reduceat(lv.lows, starts, axis=0)
+            node_highs = np.maximum.reduceat(lv.highs, starts, axis=0)
+            # reduceat folds each start up to the next *start* — with the
+            # empty segments dropped above, that is exactly each surviving
+            # node's slice (trailing entries of removed empty nodes cannot
+            # exist: an empty node contributes no entries).
+            extents = node_highs - node_lows + 1
+            stats.append(
+                LevelStat(
+                    level=height - 1 - depth,
+                    n_nodes=n_nodes,
+                    avg_extents=tuple(
+                        float(x) for x in extents.mean(axis=0, dtype=np.float64)
+                    ),
+                )
+            )
+        stats.sort(key=lambda s: s.level)
+        return stats
 
     def search(self, query: Rect) -> SearchResult:
         """Plain window search — the basic SEARCH operator."""
@@ -108,6 +151,22 @@ class SupportedRTree:
         if self.flat_is_current():
             return self.flat.search(query, min_count=min_count)
         return self.tree.search(query, min_count=min_count)
+
+    def search_arrays(
+        self, query: Rect, min_count: int | None = None
+    ) -> FlatHits | None:
+        """Array-native window search, or ``None`` when it cannot be served.
+
+        Returns :class:`~repro.rtree.flat.FlatHits` (leaf slots, payload
+        rows, global counts) straight from the compiled arrays.  A stale or
+        missing compile returns ``None`` — never arrays from a diverged
+        snapshot — and the caller falls back to the per-entry search; the
+        staleness guard is property-tested on the payload path.
+        """
+        if not self.flat_is_current():
+            return None
+        assert self.flat is not None
+        return self.flat.search_hits(query, min_count=min_count)
 
     def fraction_with_count_at_least(self, min_count: int) -> float:
         """Fraction of indexed boxes whose global count reaches ``min_count``.

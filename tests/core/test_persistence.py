@@ -122,6 +122,38 @@ def test_roundtrip_attaches_stored_flat_form(index, tmp_path):
         assert a.nodes_visited == b.nodes_visited
 
 
+def test_roundtrip_payload_first_no_entry_rebuild(index, tmp_path):
+    """v2 files round-trip the payload arrays: the load path attaches the
+    flat form without materializing leaf Entry objects, and the array
+    search serves rows/counts identical to a fresh compile."""
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)
+    archive = np.load(path)
+    assert "flat_payload_rows" in archive.files
+    stored_rows = archive["flat_payload_rows"]
+    assert sorted(stored_rows.tolist()) == list(range(index.n_mips))
+
+    loaded, _ = load_index(path)
+    flat = loaded.flat_rtree
+    assert flat is not None
+    # Entry-free attach: the lazy table has not been built by loading.
+    assert flat._leaf_entries is None
+    fresh = loaded.recompile_flat()
+    hull = loaded.rtree.tree.root.mbr()
+    stored_again, _ = load_index(path)
+    flat = stored_again.flat_rtree
+    for min_count in (None, 2, 10**9):
+        a = fresh.search_hits(hull, min_count=min_count)
+        b = flat.search_hits(hull, min_count=min_count)
+        assert a.nodes_visited == b.nodes_visited
+        assert sorted(zip(a.rows.tolist(), a.counts.tolist())) == \
+            sorted(zip(b.rows.tolist(), b.counts.tolist()))
+    # search_hits never forced Entry materialization either.
+    assert flat._leaf_entries is None
+    # The payload table maps slots to the reloaded MIPs per the stored rows.
+    assert [p.row for p in flat.payloads] == stored_rows.tolist()
+
+
 def test_load_v1_file_recompiles_flat(index, tmp_path):
     """A legacy v1 archive (no flat arrays) still loads; the flat form is
     compiled on load instead of attached."""

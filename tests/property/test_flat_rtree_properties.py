@@ -128,6 +128,10 @@ def test_mutations_never_serve_stale_flat_hits(data, seed):
         assert sorted(
             e.payload for e in sup.search_supported(query, mc).entries
         ) == brute(query, mc)
+        # The payload-array path must refuse to answer from the stale
+        # compile — never arrays from a diverged snapshot.
+        assert sup.search_arrays(query) is None
+        assert sup.search_arrays(query, min_count=mc) is None
 
     # Recompile: flat path returns, answers unchanged.
     sup.compile_flat()
@@ -139,3 +143,15 @@ def test_mutations_never_serve_stale_flat_hits(data, seed):
         assert sorted(
             e.payload for e in sup.search_supported(query, mc).entries
         ) == brute(query, mc)
+        # Payload arrays are served again and agree with the brute-force
+        # scan: slots resolve to the live payloads with their counts.
+        for eff_mc in (None, mc):
+            hits = sup.search_arrays(query, min_count=eff_mc)
+            assert hits is not None
+            got = sorted(
+                (sup.flat.payloads[int(slot)], int(cnt))
+                for slot, cnt in zip(hits.slots, hits.counts)
+            )
+            assert got == sorted(
+                (pid, live[pid][1]) for pid in brute(query, eff_mc)
+            )

@@ -207,3 +207,58 @@ def test_unbalanced_tree_rejected():
     tree._root = root
     with pytest.raises(IndexError_):
         FlatRTree.from_rtree(tree)
+
+
+def test_search_hits_matches_entry_search():
+    """The payload-array search returns the same hits (slots resolve to the
+    same payloads and counts) and byte-identical nodes_visited."""
+    rng = random.Random(31)
+    items = make_items(rng, 80)
+    tree = pack_hilbert(3, items, max_entries=6)
+    flat = FlatRTree.from_rtree(tree)
+    for query, mc in make_queries(rng):
+        entry_result = flat.search(query, min_count=mc)
+        hits = flat.search_hits(query, min_count=mc)
+        assert len(hits) == len(entry_result.entries)
+        assert hits.nodes_visited == entry_result.nodes_visited
+        assert sorted(
+            (flat.payloads[int(s)], int(c))
+            for s, c in zip(hits.slots, hits.counts)
+        ) == sorted((e.payload, e.count) for e in entry_result.entries)
+        # Integer payloads carry no .row: the row vector reports -1.
+        assert (hits.rows == -1).all()
+
+
+def test_search_hits_rows_gather_payload_rows():
+    """Payloads exposing ``.row`` surface their rows as a contiguous vector."""
+
+    class P:
+        def __init__(self, row):
+            self.row = row
+
+    rng = random.Random(32)
+    items = [
+        (rect, P(pid), cnt) for rect, pid, cnt in make_items(rng, 40)
+    ]
+    tree = pack_hilbert(3, items, max_entries=4)
+    flat = FlatRTree.from_rtree(tree)
+    full = Rect((0, 0, 0), tuple(c - 1 for c in CARDS))
+    hits = flat.search_hits(full)
+    assert sorted(hits.rows.tolist()) == list(range(40))
+    assert hits.rows.dtype == np.int64
+
+
+def test_search_arrays_refuses_stale_compile():
+    """SupportedRTree.search_arrays returns None the moment the pointer
+    tree diverges from the compile, and serves arrays again after a
+    recompile."""
+    rng = random.Random(33)
+    sup = SupportedRTree.build(3, make_items(rng, 30), max_entries=4)
+    full = Rect((0, 0, 0), tuple(c - 1 for c in CARDS))
+    assert sup.search_arrays(full) is not None
+    sup.tree.insert(Rect.point((1, 1, 1)), "fresh", count=7)
+    assert sup.search_arrays(full) is None
+    assert sup.search_arrays(full, min_count=5) is None
+    sup.compile_flat()
+    hits = sup.search_arrays(full)
+    assert hits is not None and len(hits) == 31

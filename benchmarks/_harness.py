@@ -163,8 +163,8 @@ class AccuracyRecord:
     chosen: PlanKind
     fastest: PlanKind
     regret: float  # chosen time / fastest time - 1
-    chosen_s: float = 0.0   # measured time of the chosen plan (summed reps)
-    fastest_s: float = 0.0  # measured time of the fastest plan (summed reps)
+    chosen_s: float = 0.0   # measured time of the chosen plan (paired median)
+    fastest_s: float = 0.0  # measured time of the fastest plan (paired median)
 
 
 def run_accuracy(
@@ -172,12 +172,17 @@ def run_accuracy(
     spec: ExperimentSpec,
     fractions: tuple[float, ...],
     seed: int = 11,
-    repetitions: int = 2,
+    repetitions: int = 3,
 ) -> list[AccuracyRecord]:
     """The 36-setting plan-selection accuracy experiment for one dataset.
 
-    Plan times are averaged over ``repetitions`` executions so millisecond
-    timing noise does not decide which plan "won" a near-tie scenario.
+    Plan timings are *paired*: each repetition executes all six plans
+    back-to-back (so every plan in a repetition sees the same machine
+    state — cache warmth, frequency, background load), and a plan's time
+    for the scenario is its **median across repetitions**.  Summing or
+    averaging instead lets one slow repetition — a page-cache miss, a
+    CPU-frequency dip — decide which plan "won" a near-tie scenario; the
+    per-pair median discards exactly those outliers.
 
     Every measured plan execution is also fed back through
     :meth:`ColarmOptimizer.record_measurement`, so after a run
@@ -192,18 +197,24 @@ def run_accuracy(
                 workload = random_focal_query(
                     engine.table, fraction, minsupp, minconf, rng
                 )
-                times = {kind: 0.0 for kind in PlanKind}
+                rep_times: dict[PlanKind, list[float]] = {
+                    kind: [] for kind in PlanKind
+                }
                 for _ in range(repetitions):
                     with paused_gc():
                         results = engine.compare_plans(workload.query)
                     for kind, r in results.items():
-                        times[kind] += r.elapsed
+                        rep_times[kind].append(r.elapsed)
+                times = {
+                    kind: float(np.median(rep_times[kind]))
+                    for kind in PlanKind
+                }
                 fastest = min(times, key=lambda k: times[k])
                 choice = engine.choose_plan(workload.query)
                 chosen = choice.kind
                 for kind in PlanKind:
                     engine.optimizer.record_measurement(
-                        choice, kind, times[kind] / repetitions
+                        choice, kind, times[kind]
                     )
                 records.append(
                     AccuracyRecord(

@@ -1,0 +1,363 @@
+"""PAR — sharded multi-process kernels vs the serial in-process path.
+
+Measures the two record-partitioned hot-path kernels of
+:mod:`repro.parallel` over shard-count sweeps ``P ∈ {1, 2, 4, 8}``:
+
+* ``qualify_sharded`` — ELIMINATE/SUPPORTED-VERIFY's batched MIP
+  qualification (AND + popcount over the packed candidate matrix),
+  dispatched as one word-shard task per worker and merged by int64 sum;
+* ``lattice_sharded`` — the rule-generation subset-lattice kernel,
+  evaluated over full-width shards of the item matrix.
+
+Matrices are chess/mushroom/pumsb-shaped (their tidset densities) at
+``>= 50k`` records; every cell asserts the sharded counts are
+**byte-identical** to the serial result before timing anything.  A third
+section replays calibration-style scenarios through the optimizer with a
+live pool and reports how often its serial/parallel choice agrees with
+the measured-faster variant (the ledger records every measurement).
+
+The speedup gate (>= 1.7x at P=4 for qualification on >= 50k records) is
+enforced only where the host can deliver 4-way concurrency
+(``available_cpus() >= 4``): on smaller containers the sweep still runs
+for exactness, and the cost model prices the missing concurrency so the
+optimizer never *chooses* sharded there — asserted by the agreement
+section instead.  Results land in ``benchmarks/results/
+parallel_speedup.csv`` plus the top-level ``BENCH_parallel.json``.  Run
+as a pytest test or directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro import kernels
+from repro.analysis.reporting import format_table, write_csv
+from repro.parallel import (
+    ParallelConfig,
+    ShardedExecutor,
+    available_cpus,
+    subset_lattice_partial,
+)
+
+from _harness import BENCH_SMOKE, smoke_grid
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_parallel.json"
+
+#: Tidset densities mirroring the evaluation datasets' characters
+#: (chess dense, mushroom sparse, pumsb mid) — the AND+popcount work is
+#: density-independent, but the merge counts are not.
+SHAPES = smoke_grid(
+    (("chess", 0.45), ("mushroom", 0.18), ("pumsb", 0.35)),
+    (("mushroom", 0.18),),
+)
+#: Record-universe sizes; the acceptance gate applies at >= 50k.
+N_RECORDS = smoke_grid((50_000, 100_000), (50_000,))
+#: Candidate-matrix rows for the qualification sweep; the gate reads the
+#: cells with >= ``GATE_MIN_CANDIDATES`` rows, where the shard work
+#: dwarfs the per-task dispatch overhead.
+N_CANDIDATES = smoke_grid((1_024, 4_096, 8_192), (4_096,))
+#: Shard counts P.  Smoke mode pins the sweep to the gate point (P=4)
+#: plus the P=1 baseline so CI measures exactly what it enforces.
+P_GRID = smoke_grid((1, 2, 4, 8), (1, 4))
+#: Subset-lattice widths n (2**n counts per itemset; m itemsets).
+LATTICE_WIDTHS = smoke_grid((2, 3, 4), (3,))
+LATTICE_ITEMSETS = 256
+LATTICE_ITEMS = 64
+REPEATS = smoke_grid(4, 3)
+GATE_MIN_RECORDS = 50_000
+GATE_MIN_CANDIDATES = 4_096
+GATE_P = 4
+GATE_SPEEDUP = 1.7
+
+
+def _random_matrix(
+    rng: np.random.Generator, n_rows: int, n_records: int, density: float
+) -> np.ndarray:
+    """A packed random tidset matrix at the requested density.
+
+    Generated in row chunks: the full-grid corner (16k rows x 200k
+    records) would otherwise materialize a multi-GB float intermediate.
+    """
+    words = kernels.n_words(n_records)
+    matrix = np.zeros((n_rows, words), dtype=kernels._WORD_DTYPE)
+    chunk = max(1, min(n_rows, (1 << 27) // max(n_records, 1)))
+    for lo in range(0, n_rows, chunk):
+        hi = min(lo + chunk, n_rows)
+        bits = rng.random((hi - lo, n_records), dtype=np.float32) < density
+        packed = np.packbits(bits, axis=1, bitorder="little")
+        matrix[lo:hi].view(np.uint8)[:, : packed.shape[1]] = packed
+    return matrix
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_qualify(
+    executor: ShardedExecutor,
+    matrix: np.ndarray,
+    mask: np.ndarray,
+    n_candidates: int,
+    meta: dict,
+) -> dict:
+    rows = np.arange(n_candidates, dtype=np.int64)
+    words = matrix.shape[1]
+
+    def serial():
+        return kernels.and_count(matrix, mask)
+
+    def sharded():
+        return executor.and_count("m", rows, mask, words)
+
+    # Exactness first: the merged partials must be byte-identical.
+    assert np.array_equal(serial().astype(np.int64), sharded())
+    serial_s = _best_of(serial)
+    sharded_s = _best_of(sharded)
+    return {
+        "kernel": "qualify_sharded",
+        **meta,
+        "n_candidates": n_candidates,
+        "serial_s": serial_s,
+        "sharded_s": sharded_s,
+        "speedup": serial_s / sharded_s if sharded_s else float("inf"),
+    }
+
+
+def _bench_lattice(
+    executor: ShardedExecutor,
+    items: np.ndarray,
+    mask: np.ndarray,
+    width: int,
+    rng: np.random.Generator,
+    meta: dict,
+) -> dict:
+    idx = rng.integers(
+        0, items.shape[0], size=(LATTICE_ITEMSETS, width)
+    ).astype(np.int64)
+    words = items.shape[1]
+
+    def serial():
+        return subset_lattice_partial(items, idx, mask, 0, words)
+
+    def sharded():
+        return executor.subset_lattice("items", idx, mask, words)
+
+    assert np.array_equal(serial(), sharded())
+    serial_s = _best_of(serial)
+    sharded_s = _best_of(sharded)
+    return {
+        "kernel": "lattice_sharded",
+        **meta,
+        "n_candidates": LATTICE_ITEMSETS,
+        "width": width,
+        "serial_s": serial_s,
+        "sharded_s": sharded_s,
+        "speedup": serial_s / sharded_s if sharded_s else float("inf"),
+    }
+
+
+def run_bench(seed: int = 7) -> list[dict]:
+    rng = np.random.default_rng(seed)
+    records: list[dict] = []
+    for shape, density in SHAPES:
+        for n_records in N_RECORDS:
+            words = kernels.n_words(n_records)
+            matrix = _random_matrix(
+                rng, max(N_CANDIDATES), n_records, density
+            )
+            items = _random_matrix(rng, LATTICE_ITEMS, n_records, density)
+            mask = _random_matrix(rng, 1, n_records, 0.5)[0]
+            for p in P_GRID:
+                executor = ShardedExecutor(
+                    {"m": matrix, "items": items},
+                    ParallelConfig(n_shards=p),
+                )
+                try:
+                    meta = {
+                        "shape": shape,
+                        "n_records": n_records,
+                        "n_shards": p,
+                        "n_workers": executor.n_workers,
+                        "words": words,
+                    }
+                    for n_candidates in N_CANDIDATES:
+                        records.append(
+                            _bench_qualify(
+                                executor,
+                                matrix[:n_candidates],
+                                mask,
+                                n_candidates,
+                                meta,
+                            )
+                        )
+                    for width in LATTICE_WIDTHS:
+                        records.append(
+                            _bench_lattice(
+                                executor, items, mask, width, rng, meta
+                            )
+                        )
+                finally:
+                    executor.close()
+    return records
+
+
+def run_agreement(seed: int = 5) -> dict:
+    """Optimizer serial/parallel choice vs measured-faster, per scenario.
+
+    Replays calibration-style probe queries through an engine with a
+    configured pool: for each scenario the optimizer's chosen plan is
+    executed both serial and force-sharded, both measurements land in
+    the ledger, and the choice *agrees* when it names the measured-faster
+    variant (ties within 15% count for either).
+    """
+    from repro.core.engine import Colarm
+    from repro.core.calibration import default_probe_queries
+    from repro.core.plans import execute_plan
+    from repro.dataset.synthetic import mushroom_like
+
+    engine = Colarm(mushroom_like(n_records=1_600), primary_support=0.08)
+    engine.calibrate(n_probes=smoke_grid(6, 4), seed=seed)
+    engine.configure(parallel=ParallelConfig(n_shards=4))
+    queries = default_probe_queries(
+        engine.index, n_queries=smoke_grid(10, 6), seed=seed
+    )
+    scenarios = []
+    try:
+        pctx = engine.parallel
+        for query in queries:
+            choice = engine.optimizer.choose(query)
+            serial_s = _best_of(
+                lambda: execute_plan(choice.kind, engine.index, query),
+                repeats=REPEATS,
+            )
+            forced = replace(pctx.config, force=True)
+            pctx.config = forced
+            try:
+                sharded_s = _best_of(
+                    lambda: execute_plan(
+                        choice.kind, engine.index, query, parallel=pctx
+                    ),
+                    repeats=REPEATS,
+                )
+            finally:
+                pctx.config = replace(forced, force=False)
+            engine.optimizer.record_measurement(
+                choice, choice.kind, serial_s
+            )
+            if choice.kind in choice.parallel_estimates:
+                engine.optimizer.record_measurement(
+                    choice, choice.kind, sharded_s, parallel=True
+                )
+            faster_parallel = sharded_s < serial_s
+            tie = (
+                abs(sharded_s - serial_s)
+                / max(sharded_s, serial_s, 1e-12)
+                <= 0.15
+            )
+            scenarios.append(
+                {
+                    "plan": choice.kind.value,
+                    "chose_parallel": choice.parallel,
+                    "serial_s": serial_s,
+                    "sharded_s": sharded_s,
+                    "agree": tie or choice.parallel == faster_parallel,
+                }
+            )
+    finally:
+        engine.close()
+    n_agree = sum(1 for s in scenarios if s["agree"])
+    return {
+        "n_scenarios": len(scenarios),
+        "n_agree": n_agree,
+        "agreement": n_agree / len(scenarios) if scenarios else 1.0,
+        "scenarios": scenarios,
+    }
+
+
+def write_results(records: list[dict], agreement: dict) -> None:
+    headers = ["kernel", "shape", "n_records", "P", "workers", "cands",
+               "serial_ms", "sharded_ms", "speedup"]
+    rows = [
+        [r["kernel"], r["shape"], r["n_records"], r["n_shards"],
+         r["n_workers"], r["n_candidates"],
+         f"{r['serial_s'] * 1e3:.3f}", f"{r['sharded_s'] * 1e3:.3f}",
+         f"{r['speedup']:.2f}x"]
+        for r in records
+    ]
+    print("\nPAR — sharded multi-process kernels vs serial in-process path")
+    print(format_table(headers, rows))
+    print(
+        f"optimizer agreement: {agreement['n_agree']}/"
+        f"{agreement['n_scenarios']} scenarios"
+    )
+    write_csv(RESULTS_DIR / "parallel_speedup.csv", headers, rows)
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "bench": "parallel",
+                "numpy": np.__version__,
+                "available_cpus": available_cpus(),
+                "repeats": REPEATS,
+                "smoke": BENCH_SMOKE,
+                "gate": {
+                    "p": GATE_P,
+                    "min_records": GATE_MIN_RECORDS,
+                    "min_candidates": GATE_MIN_CANDIDATES,
+                    "min_speedup": GATE_SPEEDUP,
+                    "enforced": available_cpus() >= GATE_P,
+                },
+                "series": records,
+                "agreement": agreement,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def test_parallel_speedup():
+    records = run_bench()
+    agreement = run_agreement()
+    write_results(records, agreement)
+    # Acceptance bar 1: the optimizer's serial/parallel choice matches the
+    # measured-faster variant on >= 70% of calibration scenarios — on any
+    # host (a single-core box must *choose serial*, and does, because the
+    # cost model sees effective_workers=1).
+    assert agreement["agreement"] >= 0.7, (
+        f"optimizer agreement {agreement['agreement']:.2f} < 0.7"
+    )
+    # Acceptance bar 2: >= 1.7x sharded qualification at P=4 on >= 50k
+    # records (geomean over shapes and the large candidate counts), where
+    # the host can actually run 4 workers concurrently.
+    if available_cpus() < GATE_P:
+        return  # exactness already asserted cell by cell above
+    speedups = [
+        r["speedup"] for r in records
+        if r["kernel"] == "qualify_sharded"
+        and r["n_shards"] == GATE_P
+        and r["n_records"] >= GATE_MIN_RECORDS
+        and r["n_candidates"] >= GATE_MIN_CANDIDATES
+    ]
+    assert speedups, "no gate-eligible qualification cells"
+    geomean = float(np.exp(np.mean(np.log(speedups))))
+    assert geomean >= GATE_SPEEDUP, (
+        f"sharded qualification speedup {geomean:.2f}x < "
+        f"{GATE_SPEEDUP}x at P={GATE_P}"
+    )
+
+
+if __name__ == "__main__":
+    write_results(run_bench(), run_agreement())

@@ -14,7 +14,9 @@ irrelevant to plan *selection*).
 from __future__ import annotations
 
 import gc
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,7 +26,15 @@ from repro.core.plans import PlanKind, execute_plan
 from repro.core.query import LocalizedQuery
 from repro.errors import QueryError
 
-__all__ = ["CalibrationReport", "calibrate", "default_probe_queries"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.parallel import ParallelContext
+
+__all__ = [
+    "CalibrationReport",
+    "calibrate",
+    "calibrate_parallel",
+    "default_probe_queries",
+]
 
 
 @dataclass(frozen=True)
@@ -259,6 +269,50 @@ def calibrate(
         solo_rows=solo_rows,
         arm_spread=arm_spread,
     )
+
+
+def calibrate_parallel(
+    parallel: "ParallelContext", weights: CostWeights
+) -> CostWeights:
+    """Fit the sharded-execution weights from the live worker pool.
+
+    The two parallel cost terms are measured, not guessed, exactly like
+    ``arm``/``rulegen`` were:
+
+    * ``par_dispatch`` — seconds per shard *task*: the pool's median
+      empty round-trip (submit, pickle a no-op payload, wake a worker,
+      return), measured at :class:`~repro.parallel.ParallelContext`
+      construction on the warmed pool;
+    * ``par_merge`` — seconds per merged output element: one int64
+      partial per shard summed in the parent, timed here over a
+      representative merge.
+
+    The record-partitioned work terms reuse the fitted serial
+    ``eliminate``/``verify`` weights (same kernels, same words — just
+    divided across workers), so only these two weights are new.  Returns
+    a new :class:`CostWeights`; every serial weight is untouched.
+    """
+    fitted = dict(weights.weights)
+    fitted["par_dispatch"] = max(parallel.dispatch_s, 1e-7)
+    fitted["par_merge"] = max(
+        _measure_merge_throughput(parallel.n_shards), 1e-12
+    )
+    return CostWeights(fitted)
+
+
+def _measure_merge_throughput(
+    n_shards: int, n_elements: int = 65536, rounds: int = 3
+) -> float:
+    """Seconds per element of summing one int64 partial per shard."""
+    parts = [np.ones(n_elements, dtype=np.int64) for _ in range(n_shards)]
+    best = float("inf")
+    for _ in range(rounds):
+        total = np.zeros(n_elements, dtype=np.int64)
+        start = time.perf_counter()
+        for part in parts:
+            total += part
+        best = min(best, time.perf_counter() - start)
+    return best / (n_shards * n_elements)
 
 
 def _nnls(matrix: np.ndarray, target: np.ndarray) -> np.ndarray:

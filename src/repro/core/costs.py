@@ -45,6 +45,7 @@ from repro.rtree.costmodel import expected_leaf_matches, expected_node_accesses
 __all__ = [
     "ArmModelStats",
     "CostWeights",
+    "ParallelCostProfile",
     "QueryProfile",
     "CostModel",
     "DEFAULT_WEIGHTS",
@@ -52,6 +53,10 @@ __all__ = [
 
 #: Uncalibrated per-unit weights (seconds per load unit), rough orders of
 #: magnitude for CPython; calibration replaces them with fitted values.
+#: ``par_dispatch``/``par_merge`` price the sharded plan variants only
+#: (per-shard-task pool round-trips and per-shard partial merges); they are
+#: fitted from the live pool by ``calibration.calibrate_parallel`` and never
+#: appear in a serial load vector.
 DEFAULT_WEIGHTS: dict[str, float] = {
     "search": 3e-6,
     "eliminate": 3e-8,
@@ -60,7 +65,27 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "select": 4e-7,
     "arm": 2e-7,
     "const": 5e-5,
+    "par_dispatch": 2e-4,
+    "par_merge": 1e-9,
 }
+
+
+@dataclass(frozen=True)
+class ParallelCostProfile:
+    """Host and pool facts the parallel plan variants are priced against.
+
+    ``n_shards`` sizes the dispatch and merge terms (one task and one
+    partial per shard, regardless of core count); ``effective_workers``
+    is the concurrency the host can actually deliver —
+    ``min(n_workers, n_shards, available_cpus())`` — and divides the
+    record-partitioned work terms.  On a single-core host it is 1, the
+    work terms don't shrink, the dispatch term still costs, and the
+    optimizer correctly prices every parallel variant above its serial
+    twin.
+    """
+
+    n_shards: int
+    effective_workers: int
 
 
 @dataclass(frozen=True)
@@ -845,6 +870,48 @@ class CostModel:
             loads["const"] = 4.0
         return loads
 
+    def parallel_loads(
+        self,
+        kind: PlanKind,
+        profile: QueryProfile,
+        par: ParallelCostProfile,
+    ) -> dict[str, float] | None:
+        """The load vector of one plan's *sharded* execution variant.
+
+        Returns ``None`` for ARM: the from-scratch miner's Python-level
+        candidate loop is not record-partitioned, so it has no parallel
+        twin.  For the five MIP plans, the record-partitioned terms
+        shrink by the deliverable concurrency:
+
+        * ``eliminate`` — the AND+popcount qualification splits across
+          shards, so the word work divides by ``effective_workers``;
+        * ``verify`` — the sharded subset-lattice kernel works at the
+          *full* tidset width (no focal projection, no per-query repack:
+          the lattice is rooted at the focal row itself), split across
+          workers — ``qualified_fanout x tidset_words / P_eff`` replaces
+          the serial ``projection + fanout x dq_words``;
+        * ``par_dispatch`` — one pool round-trip per shard task, two
+          sharded dispatches per query (qualification + rule lattice);
+        * ``par_merge`` — summing one int64 partial per shard for every
+          output element (candidate counts + lattice cells).
+
+        ``search``, ``rulegen``, ``select``, and ``const`` are untouched:
+        the traversal and the confidence pass stay in-process.
+        """
+        if kind is PlanKind.ARM:
+            return None
+        p_eff = float(max(1, par.effective_workers))
+        loads = self.loads(kind, profile)
+        loads["eliminate"] = loads["eliminate"] / p_eff
+        loads["verify"] = (
+            profile.qualified_fanout * self.stats.tidset_words / p_eff
+        )
+        loads["par_dispatch"] = 2.0 * par.n_shards
+        loads["par_merge"] = par.n_shards * (
+            profile.n_cands + profile.qualified_fanout
+        )
+        return loads
+
     # -- costs ------------------------------------------------------------------
 
     def estimate(self, kind: PlanKind, profile: QueryProfile) -> float:
@@ -854,3 +921,24 @@ class CostModel:
     def estimate_all(self, profile: QueryProfile) -> dict[PlanKind, float]:
         """All six formulae — the optimizer's constant-time computation."""
         return {kind: self.estimate(kind, profile) for kind in PlanKind}
+
+    def estimate_parallel(
+        self,
+        kind: PlanKind,
+        profile: QueryProfile,
+        par: ParallelCostProfile,
+    ) -> float | None:
+        """Estimated cost of one plan's sharded variant (None for ARM)."""
+        loads = self.parallel_loads(kind, profile, par)
+        return None if loads is None else self.weights.price(loads)
+
+    def estimate_all_parallel(
+        self, profile: QueryProfile, par: ParallelCostProfile
+    ) -> dict[PlanKind, float]:
+        """Sharded-variant costs for every plan that has one."""
+        out: dict[PlanKind, float] = {}
+        for kind in PlanKind:
+            est = self.estimate_parallel(kind, profile, par)
+            if est is not None:
+                out[kind] = est
+        return out

@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import tidset as ts
-from repro.core.calibration import CalibrationReport, calibrate, default_probe_queries
+from repro.core.calibration import (
+    CalibrationReport,
+    calibrate,
+    calibrate_parallel,
+    default_probe_queries,
+)
 from repro.core.costs import CostWeights
 from repro.core.mipindex import MIPIndex, build_mip_index
 from repro.core.optimizer import ColarmOptimizer, PlanChoice
@@ -76,6 +81,7 @@ class Colarm:
         )
         self.expand = expand
         self.optimizer = ColarmOptimizer(self.index, weights)
+        self.parallel = None
 
     @classmethod
     def from_index(
@@ -89,6 +95,7 @@ class Colarm:
         engine.index = index
         engine.expand = expand
         engine.optimizer = ColarmOptimizer(index, weights)
+        engine.parallel = None
         return engine
 
     # -- introspection ------------------------------------------------------
@@ -122,6 +129,46 @@ class Colarm:
         self.optimizer.set_weights(report.weights)
         return report
 
+    # -- offline: sharded execution ------------------------------------------
+
+    def configure(self, parallel=None) -> "Colarm":
+        """Opt in to (or out of) sharded multi-process kernel execution.
+
+        ``parallel`` accepts a :class:`repro.parallel.ParallelConfig`,
+        ``True`` (defaults), or ``None``/``False`` to tear the pool down
+        and return to serial execution.  Configuring:
+
+        1. registers the index's kernel matrices and the compiled flat
+           R-tree arrays in shared memory and starts the worker pool
+           (:class:`repro.parallel.ParallelContext`);
+        2. fits the ``par_dispatch``/``par_merge`` cost weights from the
+           live pool (:func:`repro.core.calibration.calibrate_parallel`);
+        3. installs the parallel cost profile in the optimizer, which
+           from then on prices every plan both serial and sharded and
+           chooses across all variants.
+
+        Explicitly opt-in and idempotent; returns ``self`` for chaining.
+        """
+        from repro.parallel import ParallelConfig, ParallelContext
+
+        if self.parallel is not None:
+            self.parallel.close()
+            self.parallel = None
+            self.optimizer.set_parallel(None)
+        if parallel is None or parallel is False:
+            return self
+        config = ParallelConfig() if parallel is True else parallel
+        self.parallel = ParallelContext(self.index, config)
+        self.optimizer.set_weights(
+            calibrate_parallel(self.parallel, self.optimizer.weights)
+        )
+        self.optimizer.set_parallel(self.parallel.cost_profile())
+        return self
+
+    def close(self) -> None:
+        """Release the shard pool and its shared segments (if configured)."""
+        self.configure(parallel=None)
+
     # -- online: queries -------------------------------------------------------
 
     def parse(self, text: str) -> LocalizedQuery:
@@ -138,16 +185,26 @@ class Colarm:
         With ``plan=None`` the COLARM optimizer picks the strategy; passing
         a :class:`PlanKind` (or its paper name, e.g. ``"SS-E-U-V"``) forces
         a specific plan.
+
+        When sharded execution is configured, the optimizer's choice also
+        says whether to run the plan's sharded variant — the context is
+        attached only then, so a serial pick costs nothing extra.  Forced
+        plans always get the context (the per-call break-even gate still
+        applies); either way the rules are identical to serial.
         """
         q = self.parse(request) if isinstance(request, str) else request
         if plan is None:
             choice = self.optimizer.choose(q)
             kind, chosen_by = choice.kind, "optimizer"
+            parallel = self.parallel if choice.parallel else None
         else:
             choice = None
             kind = plan_from_name(plan) if isinstance(plan, str) else plan
             chosen_by = "forced"
-        result = execute_plan(kind, self.index, q, expand=self.expand)
+            parallel = self.parallel
+        result = execute_plan(
+            kind, self.index, q, expand=self.expand, parallel=parallel
+        )
         return QueryOutcome(
             rules=result.rules,
             plan=kind,

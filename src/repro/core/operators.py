@@ -38,8 +38,12 @@ import time
 from operator import attrgetter
 from collections.abc import Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.parallel import ParallelContext
 
 from repro import kernels, tidset as ts
 from repro.core.mip import MIP
@@ -202,6 +206,14 @@ class QueryContext:
     expand: bool       # expand candidates to all locally frequent itemsets
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
     projection_s: float = 0.0  # one-off focal-projection build time
+    #: Sharded-execution handle (None = serial).  Operators *try* it for
+    #: their batched kernel calls and fall back to the in-process kernels
+    #: whenever it declines (below break-even, pool broken) — identical
+    #: counts either way, so correctness never depends on it.
+    parallel: "ParallelContext | None" = field(default=None, repr=False)
+    #: Kernel batches actually served by the shard pool so far (trace deltas
+    #: report per-operator shares as ``sharded_calls``).
+    sharded_calls: int = 0
     _dq_packed: np.ndarray | None = field(default=None, repr=False)
     _focal_kernel: "kernels.FocalKernel | None" = field(default=None, repr=False)
 
@@ -236,7 +248,10 @@ class QueryContext:
 
 
 def make_context(
-    index: MIPIndex, query: LocalizedQuery, expand: bool = False
+    index: MIPIndex,
+    query: LocalizedQuery,
+    expand: bool = False,
+    parallel: "ParallelContext | None" = None,
 ) -> QueryContext:
     """Resolve the focal subset and thresholds (the shared query setup).
 
@@ -260,6 +275,7 @@ def make_context(
         dq_size=dq_size,
         min_count=min_count,
         expand=expand,
+        parallel=parallel,
     )
     ctx.trace.add(
         OperatorTrace(
@@ -410,9 +426,20 @@ def _qualify_candidates(
         keep = _aitem_mask(ctx, candidates.rows)
         rows = candidates.rows[keep]
         if len(rows):
-            counts = kernels.and_count(
-                ctx.index.mip_tidset_matrix.take(rows, axis=0), ctx.packed_dq()
-            )
+            counts = None
+            if ctx.parallel is not None:
+                # Sharded qualification: the workers AND word shards of the
+                # shared MIP-tidset matrix against the focal row and the
+                # int64 partial sums merge exactly; None means the context
+                # declined (below break-even, pool broken) — run serial.
+                counts = ctx.parallel.and_count_mips(rows, ctx.packed_dq())
+                if counts is not None:
+                    ctx.sharded_calls += 1
+            if counts is None:
+                counts = kernels.and_count(
+                    ctx.index.mip_tidset_matrix.take(rows, axis=0),
+                    ctx.packed_dq(),
+                )
         else:
             counts = np.zeros(0, dtype=np.int64)
         qualifies = counts >= ctx.min_count
@@ -462,6 +489,7 @@ def op_eliminate(
     attributes outside Aitem whose sub-itemsets still matter).
     """
     start = time.perf_counter()
+    sharded_before = ctx.sharded_calls
     qualified, record_checks = _qualify_candidates(ctx, candidates)
     ctx.trace.add(
         OperatorTrace(
@@ -469,7 +497,10 @@ def op_eliminate(
             input_size=len(candidates),
             output_size=len(qualified),
             elapsed=time.perf_counter() - start,
-            detail={"record_checks": record_checks},
+            detail={
+                "record_checks": record_checks,
+                "sharded_calls": ctx.sharded_calls - sharded_before,
+            },
         )
     )
     return qualified
@@ -512,6 +543,7 @@ def op_verify(
     """VERIFY: rule generation and minconf checks over the IT-tree."""
     start = time.perf_counter()
     projection_before = ctx.projection_s
+    sharded_before = ctx.sharded_calls
     rules, lookups, kernel_s = _rules_from_qualified(ctx, qualified)
     elapsed = time.perf_counter() - start
     ctx.trace.add(
@@ -526,6 +558,7 @@ def op_verify(
                 "rulegen_s": elapsed,
                 "kernel_s": kernel_s,
                 "projection_s": ctx.projection_s - projection_before,
+                "sharded_calls": ctx.sharded_calls - sharded_before,
             },
         )
     )
@@ -544,6 +577,7 @@ def op_supported_verify(
     """
     start = time.perf_counter()
     projection_before = ctx.projection_s
+    sharded_before = ctx.sharded_calls
     qualified, record_checks = _qualify_candidates(ctx, candidates)
     mining_s = time.perf_counter() - start
     rules, lookups, kernel_s = _rules_from_qualified(ctx, qualified)
@@ -561,6 +595,7 @@ def op_supported_verify(
                 "rulegen_s": elapsed - mining_s,
                 "kernel_s": kernel_s,
                 "projection_s": ctx.projection_s - projection_before,
+                "sharded_calls": ctx.sharded_calls - sharded_before,
             },
         )
     )
@@ -605,15 +640,34 @@ def _rules_from_qualified(
     ``count_family`` + :func:`rules_from_counts` path, which has no
     exponential table.
 
+    When a :class:`~repro.parallel.ParallelContext` is attached, each
+    width group's lattice is offered to the shard pool first: the workers
+    evaluate the same mask recurrence over *full-width* shards of the raw
+    item matrix rooted at the focal row (no projection, no repack) and
+    the int64 partials merge exactly.  In closed mode a query whose every
+    group is served sharded never builds the focal projection at all —
+    the serial path's one-off ``projection_s`` cost disappears; any group
+    the context declines falls back to the projected kernel.
+
     Returns ``(rules, kernel_evaluations, kernel_seconds)``; the latter two
     feed the VERIFY trace detail.
     """
-    kernel = ctx.focal_kernel()
-    evaluations_before = kernel.evaluations
     pairs = [(mip.itemset, int(local)) for mip, local in qualified]
-    for itemset, local in pairs:
-        kernel.seed(itemset, local)
+    kernel: "kernels.FocalKernel | None" = None
+    evaluations_before = 0
+    sharded_evaluations = 0
     kernel_s = 0.0
+
+    def focal_kernel() -> "kernels.FocalKernel":
+        # Built (and seeded) on first serial need only: a fully sharded
+        # closed-mode pass skips the projection entirely.
+        nonlocal kernel, evaluations_before
+        if kernel is None:
+            kernel = ctx.focal_kernel()
+            evaluations_before = kernel.evaluations
+            for itemset, local in pairs:
+                kernel.seed(itemset, local)
+        return kernel
 
     if not ctx.expand:
         # Closed mode: the qualified closures themselves are the sources.
@@ -643,11 +697,11 @@ def _rules_from_qualified(
                 allowed_seen.add(allowed)
         narrow = [s for s in allowed_seen if len(s) <= _LATTICE_MAX_WIDTH]
         t0 = time.perf_counter()
-        sources = kernel.frequent_subsets(narrow, ctx.min_count)
+        sources = focal_kernel().frequent_subsets(narrow, ctx.min_count)
         kernel_s += time.perf_counter() - t0
         if len(narrow) < len(allowed_seen):  # pragma: no cover - huge schema
             sources = _merge_wide_sources(
-                ctx, kernel, allowed_seen, sources
+                ctx, focal_kernel(), allowed_seen, sources
             )
 
     by_width: dict[int, list[Itemset]] = {}
@@ -661,7 +715,18 @@ def _rules_from_qualified(
             wide.extend(group)
             continue
         t0 = time.perf_counter()
-        counts = kernel.count_subset_lattice(group)
+        counts = None
+        if ctx.parallel is not None:
+            counts = ctx.parallel.count_subset_lattice(
+                group, ctx.packed_dq(), ctx.dq_size
+            )
+            if counts is not None:
+                ctx.sharded_calls += 1
+                # Same accounting as the serial kernel: one evaluation per
+                # non-empty sub-itemset of each source.
+                sharded_evaluations += len(group) * ((1 << n) - 1)
+        if counts is None:
+            counts = focal_kernel().count_subset_lattice(group)
         kernel_s += time.perf_counter() - t0
         groups.append((group, counts))
     rules = rules_from_subset_lattices(
@@ -679,19 +744,22 @@ def _rules_from_qualified(
                     tuple(itemset[k] for k in range(n) if mask >> k & 1)
                 )
         t0 = time.perf_counter()
-        kernel.count_family(family)
+        focal_kernel().count_family(family)
         kernel_s += time.perf_counter() - t0
         rules.extend(
             rules_from_counts(
                 wide,
-                kernel.count,
+                focal_kernel().count,
                 ctx.dq_size,
                 ctx.query.minconf,
                 min_count=ctx.min_count if ctx.expand else None,
             )
         )
         rules.sort(key=_RULE_ORDER)
-    return rules, kernel.evaluations - evaluations_before, kernel_s
+    lookups = sharded_evaluations
+    if kernel is not None:
+        lookups += kernel.evaluations - evaluations_before
+    return rules, lookups, kernel_s
 
 
 def _merge_wide_sources(

@@ -11,10 +11,15 @@ for this implementation.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro import tidset as ts
-from repro.core.costs import CostModel, CostWeights, QueryProfile
+from repro.core.costs import (
+    CostModel,
+    CostWeights,
+    ParallelCostProfile,
+    QueryProfile,
+)
 from repro.core.mipindex import MIPIndex
 from repro.core.plans import PlanKind
 from repro.core.query import LocalizedQuery
@@ -52,6 +57,7 @@ class EstimateResidual:
     dq_size: int = 0
     arm_f1: int = 0          # measured local structure behind the ARM price
     arm_chain: int = 0
+    parallel: bool = False   # sharded execution variant of the plan
 
     @property
     def log_ratio(self) -> float:
@@ -62,21 +68,37 @@ class EstimateResidual:
 
 @dataclass(frozen=True)
 class PlanChoice:
-    """The optimizer's suggestion plus everything behind it."""
+    """The optimizer's suggestion plus everything behind it.
+
+    When a parallel cost profile is installed, ``parallel_estimates``
+    holds the sharded-variant prices (no ARM entry: the from-scratch
+    miner has no parallel twin) and ``parallel`` says whether the chosen
+    plan should execute sharded.
+    """
 
     kind: PlanKind
     estimates: dict[PlanKind, float]
     profile: QueryProfile
+    parallel: bool = False
+    parallel_estimates: dict[PlanKind, float] = field(default_factory=dict)
 
     def explain(self) -> str:
-        """Human-readable ranking of all six plans."""
+        """Human-readable ranking of the plan variants."""
         lines = [
             f"focal subset: {self.profile.dq_size} records, "
             f"min_count={self.profile.min_count}"
         ]
-        for kind, cost in sorted(self.estimates.items(), key=lambda kv: kv[1]):
-            marker = " <== chosen" if kind is self.kind else ""
-            lines.append(f"  {kind.value:<9} est {cost:.6f}s{marker}")
+        ranked = [
+            (cost, kind, False) for kind, cost in self.estimates.items()
+        ] + [
+            (cost, kind, True)
+            for kind, cost in self.parallel_estimates.items()
+        ]
+        for cost, kind, is_par in sorted(ranked, key=lambda kv: kv[0]):
+            label = kind.value + ("+P" if is_par else "")
+            chosen = kind is self.kind and is_par == self.parallel
+            marker = " <== chosen" if chosen else ""
+            lines.append(f"  {label:<11} est {cost:.6f}s{marker}")
         return "\n".join(lines)
 
 
@@ -106,6 +128,11 @@ class ColarmOptimizer:
         self.index = index
         self.cost_model = CostModel(index.stats, weights)
         self.arm_risk_factor = arm_risk_factor
+        #: Sharded-execution facts (None = no pool configured); installed
+        #: by ``Colarm.configure(parallel=...)``.  While set, every plan
+        #: is priced both serial and sharded and :meth:`choose` picks
+        #: across all variants.
+        self.parallel_profile: ParallelCostProfile | None = None
         #: estimate-vs-actual observations fed back by the caller
         #: (:meth:`record_measurement`); unbounded only if the caller
         #: keeps feeding it — benches clear it per run.
@@ -117,6 +144,10 @@ class ColarmOptimizer:
 
     def set_weights(self, weights: CostWeights) -> None:
         self.cost_model = CostModel(self.index.stats, weights)
+
+    def set_parallel(self, profile: ParallelCostProfile | None) -> None:
+        """Install (or clear) the sharded-execution cost profile."""
+        self.parallel_profile = profile
 
     def profile_for(self, query: LocalizedQuery) -> QueryProfile:
         """Resolve the focal subset and build the query's cost profile."""
@@ -152,30 +183,70 @@ class ColarmOptimizer:
         touches at most the same leaves.  (Exact ties are common: below
         the primary floor the supported filter's *estimated* pass
         fraction is 1, which collapses the S-* and SS-* load vectors.)
+
+        With a parallel profile installed, the candidate set doubles:
+        every MIP plan is also priced as its sharded variant, and the
+        cheapest variant overall wins.  A serial variant beats a sharded
+        one at equal cost (the dispatch risk buys nothing) — it sorts
+        first in the tie key.
         """
         profile = self.profile_for(query)
         estimates = self.cost_model.estimate_all(profile)
-        adjusted = {
-            kind: cost * (self.arm_risk_factor if kind is PlanKind.ARM else 1.0)
+        parallel_estimates: dict[PlanKind, float] = {}
+        if self.parallel_profile is not None:
+            parallel_estimates = self.cost_model.estimate_all_parallel(
+                profile, self.parallel_profile
+            )
+
+        def adjust(kind: PlanKind, cost: float) -> float:
+            return cost * (
+                self.arm_risk_factor if kind is PlanKind.ARM else 1.0
+            )
+
+        candidates = [
+            (adjust(kind, cost), 0, _TIE_PREFERENCE[kind], kind, False)
             for kind, cost in estimates.items()
-        }
-        best = min(adjusted, key=lambda k: (adjusted[k], _TIE_PREFERENCE[k]))
-        return PlanChoice(kind=best, estimates=estimates, profile=profile)
+        ] + [
+            (adjust(kind, cost), 1, _TIE_PREFERENCE[kind], kind, True)
+            for kind, cost in parallel_estimates.items()
+        ]
+        _, _, _, best, best_parallel = min(candidates)
+        return PlanChoice(
+            kind=best,
+            estimates=estimates,
+            profile=profile,
+            parallel=best_parallel,
+            parallel_estimates=parallel_estimates,
+        )
 
     # -- estimate-vs-actual feedback ----------------------------------------
 
     def record_measurement(
-        self, choice: PlanChoice, kind: PlanKind, measured_s: float
+        self,
+        choice: PlanChoice,
+        kind: PlanKind,
+        measured_s: float,
+        parallel: bool = False,
     ) -> EstimateResidual:
-        """Log one measured plan execution against its estimate."""
+        """Log one measured plan execution against its estimate.
+
+        ``parallel=True`` scores the measurement against the plan's
+        sharded-variant estimate (it must exist in the choice).
+        """
         arm = choice.profile.arm_stats
+        estimated = (
+            choice.parallel_estimates[kind]
+            if parallel
+            else choice.estimates[kind]
+        )
         residual = EstimateResidual(
             kind=kind,
-            estimated_s=choice.estimates[kind],
+            estimated_s=estimated,
             measured_s=measured_s,
             dq_size=choice.profile.dq_size,
             arm_f1=arm.f1 if arm is not None else 0,
             arm_chain=arm.chain_length if arm is not None else 0,
+            parallel=parallel,
         )
         self.residuals.append(residual)
         return residual

@@ -22,6 +22,8 @@ them) still load and simply recompile.
 from __future__ import annotations
 
 import json
+import struct
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -44,11 +46,15 @@ def save_index(
     index: MIPIndex,
     path: str | Path,
     weights: CostWeights | None = None,
+    compress: bool = True,
 ) -> None:
     """Write a MIP-index (and optional calibrated weights) to ``path``.
 
     The file is a numpy ``.npz`` archive; ``path`` conventionally ends in
-    ``.colarm.npz`` but any name works.
+    ``.colarm.npz`` but any name works.  ``compress=False`` stores the
+    members raw (ZIP_STORED), which makes the flat R-tree arrays eligible
+    for zero-copy ``load_index(..., mmap_mode="r")`` loading at the price
+    of a larger file.
     """
     path = Path(path)
     schema = index.table.schema
@@ -90,7 +96,8 @@ def save_index(
             flat.payload_rows, dtype=np.int64
         )
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
+    savez = np.savez_compressed if compress else np.savez
+    savez(
         path,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
         data=index.table.data,
@@ -100,7 +107,9 @@ def save_index(
     )
 
 
-def load_index(path: str | Path) -> tuple[MIPIndex, CostWeights | None]:
+def load_index(
+    path: str | Path, mmap_mode: str | None = None
+) -> tuple[MIPIndex, CostWeights | None]:
     """Load a MIP-index saved by :func:`save_index`.
 
     Returns the index plus the calibrated weights (``None`` when the file
@@ -111,8 +120,22 @@ def load_index(path: str | Path) -> tuple[MIPIndex, CostWeights | None]:
     SoA traversal arrays, which are attached directly (validated
     structurally) so the reloaded index skips the SoA recompilation; v1
     files recompile on load.
+
+    ``mmap_mode="r"`` (or ``"c"``, copy-on-write) opens the flat SoA
+    arrays as read-only memory maps into the archive itself instead of
+    decompressing each member into a fresh heap copy — the traversal
+    arrays are the bulk of a v2 file and the flat tree only ever reads
+    them, so a mapped load is zero-copy and pages in on demand.  Mapping
+    requires the member to be stored uncompressed
+    (:func:`save_index` with ``compress=False``); compressed members
+    silently fall back to the eager copy.
     """
     path = Path(path)
+    if mmap_mode not in (None, "r", "c"):
+        raise DataError(
+            f"mmap_mode must be None, 'r' or 'c', got {mmap_mode!r} — the "
+            "archive is shared state; writable maps would corrupt it"
+        )
     try:
         archive = np.load(path)
     except (OSError, ValueError) as exc:
@@ -135,11 +158,19 @@ def load_index(path: str | Path) -> tuple[MIPIndex, CostWeights | None]:
         )
     )
     table = RelationalTable(schema, data)
-    flat_arrays = {
-        key[len(_FLAT_PREFIX):]: archive[key]
-        for key in archive.files
-        if key.startswith(_FLAT_PREFIX)
-    }
+    flat_keys = [k for k in archive.files if k.startswith(_FLAT_PREFIX)]
+    flat_arrays: dict[str, np.ndarray] = {}
+    if flat_keys and mmap_mode is not None:
+        with zipfile.ZipFile(path) as zf:
+            for key in flat_keys:
+                mapped = _mmap_npz_member(path, zf, key + ".npy", mmap_mode)
+                flat_arrays[key[len(_FLAT_PREFIX):]] = (
+                    mapped if mapped is not None else archive[key]
+                )
+    else:
+        flat_arrays = {
+            key[len(_FLAT_PREFIX):]: archive[key] for key in flat_keys
+        }
     index = build_mip_index(
         table,
         primary_support=float(meta["primary_support"]),
@@ -153,6 +184,57 @@ def load_index(path: str | Path) -> tuple[MIPIndex, CostWeights | None]:
         CostWeights(dict(meta["weights"])) if meta.get("weights") else None
     )
     return index, weights
+
+
+def _mmap_npz_member(
+    path: Path, zf: zipfile.ZipFile, name: str, mmap_mode: str
+) -> np.ndarray | None:
+    """Memory-map one ``.npy`` member of an ``.npz`` archive in place.
+
+    ``np.load`` ignores ``mmap_mode`` for zip archives (members go
+    through the zipfile reader, which always copies), so this locates the
+    member's raw bytes inside the archive by hand: the zip *local* header
+    at ``header_offset`` gives the data start (its name/extra lengths can
+    differ from the central directory's), and the ``.npy`` header behind
+    it gives dtype/shape/order.  Returns ``None`` — caller falls back to
+    the eager copy — for compressed, object-dtype, or unrecognized
+    members; the map itself is read-only (``"r"``) or copy-on-write
+    (``"c"``), never write-through.
+    """
+    try:
+        info = zf.getinfo(name)
+    except KeyError:
+        return None
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    with open(path, "rb") as f:
+        f.seek(info.header_offset)
+        local = f.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            return None
+        name_len, extra_len = struct.unpack("<HH", local[26:30])
+        f.seek(info.header_offset + 30 + name_len + extra_len)
+        try:
+            version = np.lib.format.read_magic(f)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(f)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(f)
+            else:
+                return None
+        except ValueError:
+            return None
+        if dtype.hasobject:
+            return None
+        data_offset = f.tell()
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode=mmap_mode,
+        offset=data_offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
 
 
 def _attach_flat(

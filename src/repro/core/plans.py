@@ -78,10 +78,18 @@ def execute_plan(
     index: MIPIndex,
     query: LocalizedQuery,
     expand: bool = False,
+    parallel=None,
 ) -> PlanResult:
-    """Run one plan end to end and return its rules plus instrumentation."""
+    """Run one plan end to end and return its rules plus instrumentation.
+
+    ``parallel`` optionally attaches a :class:`repro.parallel.
+    ParallelContext`; the MIP plans' batched kernel calls then shard
+    across its worker pool when the work clears the break-even point
+    (identical rules either way — the shard merges are exact and every
+    sharded call has a serial fallback).
+    """
     start = time.perf_counter()
-    ctx = make_context(index, query, expand=expand)
+    ctx = make_context(index, query, expand=expand, parallel=parallel)
     rules = _PLAN_BODIES[kind](ctx)
     elapsed = time.perf_counter() - start
     return PlanResult(

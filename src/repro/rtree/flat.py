@@ -366,6 +366,7 @@ class FlatRTree:
         cls,
         arrays: Mapping[str, np.ndarray],
         payloads: Sequence[object],
+        payload_rows: np.ndarray | None = None,
     ) -> "FlatRTree":
         """Rebuild a compiled tree from :meth:`to_arrays` output.
 
@@ -376,6 +377,11 @@ class FlatRTree:
         uses :meth:`search`.  Structural invariants (CSR monotonicity,
         child-order cardinalities) are re-validated so a corrupted file
         fails loudly.
+
+        ``payload_rows`` optionally installs the per-slot row vector
+        directly (shard workers pass the shared-memory array so the
+        rebuilt view stays zero-copy and payload objects never exist);
+        when omitted it is derived lazily from ``payloads`` as usual.
         """
         try:
             n_dims, n_levels = (int(x) for x in arrays["shape"])
@@ -405,9 +411,18 @@ class FlatRTree:
             for arr in (offsets, lows, highs, counts):
                 arr.setflags(write=False)
             levels.append(FlatLevel(offsets, lows, highs, counts))
-        return cls(
+        tree = cls(
             n_dims=n_dims,
             levels=levels,
             payloads=payloads,
             source_mutations=0,  # matches a freshly packed source tree
         )
+        if payload_rows is not None:
+            rows = np.asarray(payload_rows, dtype=np.int64)
+            if len(rows) != len(tree.payloads):
+                raise IndexError_(
+                    f"payload_rows has {len(rows)} slots for "
+                    f"{len(tree.payloads)} payloads"
+                )
+            tree._payload_rows = rows
+        return tree

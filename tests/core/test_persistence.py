@@ -201,3 +201,52 @@ def test_load_detects_corrupt_flat_arrays(index, tmp_path):
     np.savez(path, **tampered)
     with pytest.raises(DataError, match="corrupt flat"):
         load_index(path)
+
+
+def test_mmap_load_zero_copy_and_identical(index, tmp_path):
+    """Uncompressed v2 archives open their flat SoA arrays as read-only
+    memory maps, and the mapped tree answers searches identically."""
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path, compress=False)
+    loaded, _ = load_index(path, mmap_mode="r")
+    flat = loaded.flat_rtree
+    assert flat is not None
+
+    def is_mapped(arr):
+        while arr is not None:
+            if isinstance(arr, np.memmap):
+                return True
+            arr = getattr(arr, "base", None)
+        return False
+
+    assert all(is_mapped(level.lows) for level in flat.levels)
+    eager, _ = load_index(path)
+    hull = eager.rtree.tree.root.mbr()
+    for min_count in (None, 2):
+        a = eager.flat_rtree.search_hits(hull, min_count=min_count)
+        b = flat.search_hits(hull, min_count=min_count)
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.counts, b.counts)
+
+
+def test_mmap_load_compressed_falls_back_to_copy(index, tmp_path):
+    """Compressed members cannot be mapped; the loader silently falls
+    back to the eager copy and the index still works."""
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)  # compressed (the default)
+    loaded, _ = load_index(path, mmap_mode="r")
+    flat = loaded.flat_rtree
+    assert flat is not None
+    assert not any(
+        isinstance(level.lows, np.memmap) for level in flat.levels
+    )
+    assert loaded.rtree.flat_is_current()
+
+
+def test_mmap_load_rejects_writable_modes(index, tmp_path):
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path, compress=False)
+    with pytest.raises(DataError, match="mmap_mode"):
+        load_index(path, mmap_mode="r+")
+    with pytest.raises(DataError, match="mmap_mode"):
+        load_index(path, mmap_mode="w+")

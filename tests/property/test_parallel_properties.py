@@ -1,0 +1,162 @@
+"""Property tests for the sharded-execution merge algebra.
+
+The whole correctness argument of :mod:`repro.parallel` is *record
+partitionability*: every hot-path count is a popcount over packed words,
+so for ANY split of the word axis into contiguous shards, the int64 sum
+of per-shard partials equals the unsharded count exactly — no floating
+point, no ordering sensitivity, no edge dependence on where the cuts
+fall.  These tests state that as a property over random universes
+(including non-word-aligned record counts, where the last word carries
+padding bits) and random shard splits (including empty shards and more
+shards than words).
+
+The subset-lattice reference here is deliberately *independent* of the
+production DP: it enumerates every sub-itemset and ANDs its item rows
+from scratch, so a mask-recurrence bug and a merge bug cannot cancel.
+
+The final test is not a property: it kills a live pool's workers and
+checks every operator-facing sharded op degrades to the ``None``
+serial-fallback signal instead of propagating the crash.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.parallel import (
+    and_count_partial,
+    popcount_rows_partial,
+    shard_words,
+    subset_lattice_partial,
+)
+
+
+@st.composite
+def sharded_batches(draw):
+    """A packed matrix, a mask, a row subset, and a random word split."""
+    n_records = draw(st.integers(min_value=1, max_value=300))
+    n_rows = draw(st.integers(min_value=0, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    density = draw(st.floats(min_value=0.0, max_value=1.0))
+    bits = rng.random((n_rows + 1, n_records)) < density
+    words = kernels.n_words(n_records)
+    packed = np.zeros((n_rows + 1, words), dtype=kernels._WORD_DTYPE)
+    bytes_ = np.packbits(bits, axis=1, bitorder="little")
+    packed.view(np.uint8)[:, : bytes_.shape[1]] = bytes_
+    matrix, mask = packed[:-1], packed[-1]
+    rows = np.asarray(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max(n_rows - 1, 0)),
+                max_size=2 * n_rows,
+            )
+        )
+        if n_rows
+        else [],
+        dtype=np.int64,
+    )
+    # Random contiguous split of [0, words]: duplicated cut points yield
+    # empty shards, which must contribute all-zero partials.
+    n_cuts = draw(st.integers(min_value=0, max_value=6))
+    cuts = sorted(
+        draw(st.integers(min_value=0, max_value=words))
+        for _ in range(n_cuts)
+    )
+    bounds = [0, *cuts, words]
+    shards = list(zip(bounds[:-1], bounds[1:]))
+    return matrix, mask, rows, shards
+
+
+@given(sharded_batches())
+def test_and_count_merge_exact(batch):
+    matrix, mask, rows, shards = batch
+    total = sum(
+        and_count_partial(matrix, rows, mask, lo, hi) for lo, hi in shards
+    )
+    expected = kernels.and_count(matrix[rows], mask).astype(np.int64)
+    assert np.array_equal(np.asarray(total, dtype=np.int64), expected)
+
+
+@given(sharded_batches())
+def test_popcount_rows_merge_exact(batch):
+    matrix, _mask, rows, shards = batch
+    total = sum(
+        popcount_rows_partial(matrix, rows, lo, hi) for lo, hi in shards
+    )
+    expected = kernels.popcount_rows(matrix[rows]).astype(np.int64)
+    assert np.array_equal(np.asarray(total, dtype=np.int64), expected)
+
+
+@given(sharded_batches(), st.integers(min_value=1, max_value=3),
+       st.integers(min_value=1, max_value=4))
+@settings(deadline=None)
+def test_subset_lattice_merge_exact(batch, n_items, n_itemsets):
+    matrix, mask, _rows, shards = batch
+    rng = np.random.default_rng(n_items * 1000 + n_itemsets)
+    # idx -1 denotes "no item": its row is defined as all-zeros.
+    idx = rng.integers(-1, matrix.shape[0], size=(n_itemsets, n_items))
+    idx = idx.astype(np.int64)
+    total = sum(
+        subset_lattice_partial(matrix, idx, mask, lo, hi)
+        for lo, hi in shards
+    )
+    # Independent reference: enumerate every sub-itemset explicitly.
+    zero = np.zeros(matrix.shape[1], dtype=matrix.dtype)
+    expected = np.zeros((n_itemsets, 1 << n_items), dtype=np.int64)
+    for j in range(n_itemsets):
+        for s in range(1 << n_items):
+            acc = mask.copy()
+            for b in range(n_items):
+                if s >> b & 1:
+                    row = zero if idx[j, b] < 0 else matrix[idx[j, b]]
+                    acc &= row
+            expected[j, s] = kernels.popcount_rows(acc[None, :])[0]
+    assert np.array_equal(np.asarray(total, dtype=np.int64), expected)
+
+
+@given(st.integers(min_value=0, max_value=500),
+       st.integers(min_value=1, max_value=12))
+def test_shard_words_partitions(n_words, n_shards):
+    shards = shard_words(n_words, n_shards)
+    assert len(shards) == n_shards
+    pos = 0
+    for lo, hi in shards:
+        assert lo == pos and hi >= lo
+        pos = hi
+    assert pos == n_words
+    sizes = [hi - lo for lo, hi in shards]
+    assert max(sizes) - min(sizes) <= 1  # balanced split
+
+
+def test_pool_crash_degrades_to_serial_fallback(salary_index):
+    """SIGKILLed workers must yield ``None`` (serial fallback), not raise."""
+    import os
+    import signal
+
+    from repro.parallel import ParallelConfig, ParallelContext
+
+    ctx = ParallelContext(
+        salary_index, ParallelConfig(n_shards=2, force=True)
+    )
+    try:
+        rows = np.arange(salary_index.n_mips, dtype=np.int64)
+        n_records = salary_index.table.n_records
+        dq = kernels.pack((1 << n_records) - 1, salary_index.tidset_words)
+        live = ctx.and_count_mips(rows, dq)
+        assert live is not None
+        assert np.array_equal(
+            live, kernels.and_count(
+                salary_index.mip_tidset_matrix[rows], dq
+            ).astype(np.int64),
+        )
+        for pid in ctx.executor.worker_pids():
+            os.kill(pid, signal.SIGKILL)
+        assert ctx.and_count_mips(rows, dq) is None
+        assert ctx.item_popcounts(np.arange(2, dtype=np.int64)) is None
+        assert not ctx.executor.available
+        # Broken stays broken: no half-alive pool resurrection.
+        assert ctx.and_count_mips(rows, dq) is None
+    finally:
+        ctx.close()

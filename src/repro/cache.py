@@ -1,0 +1,469 @@
+"""Budget-bound materialized rule caches (the space-time tradeoff tier).
+
+Repeated-/overlapping-focal workloads — the workloads COLARM is built for
+— re-mine the same hot regions over and over.  This module materializes,
+per (focal subset, thresholds) key, the two reusable products of a plan
+execution:
+
+* the **rules tier** — the finished confidence-filtered rule list, served
+  verbatim on an exact-key repeat (a *full hit*: probe plus one shallow
+  list copy);
+* the **lattice tier** — the subset-lattice count arrays from
+  :meth:`repro.kernels.FocalKernel.count_subset_lattice` (PR 5's cheap,
+  reusable intermediate).  A lattice hit replays rule extraction
+  (:func:`repro.itemsets.rules.rules_from_subset_lattices`) at *any*
+  ``minconf`` without SEARCH/ELIMINATE or any support counting — the
+  counts are threshold-free above the entry's ``minsupp``.
+
+The cache is a first-class plan alternative, not a transparent memo: the
+optimizer probes it per query, prices a CACHE variant for every plan from
+the fitted ``cache_probe``/``cache_load`` weights, and picks it only when
+it beats the serial and sharded variants (:mod:`repro.core.optimizer`).
+
+Policy: every entry is byte-accounted; inserts evict LRU-first under a
+byte budget, except *landmark* entries (``hits >= landmark_hits``), which
+are only evicted once no cold entry remains — a scan of one-off focal
+regions cannot flush the hot set.  Correctness: every entry is stamped
+with the index generation (the R-tree mutation counter) at insert; a
+probe under any other generation drops the entry, so a mutated index can
+never serve stale rules.  Rules from the from-scratch ARM plan are tagged
+``family="arm"`` — in closed mode ARM returns rules over *locally* closed
+itemsets, which may differ from the five (mutually identical) MIP plans —
+so a cached entry only ever replays its own plan family.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.itemsets.itemset import Itemset
+from repro.itemsets.rules import Rule, rules_from_subset_lattices
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.core.mipindex import MIPIndex
+    from repro.core.query import LocalizedQuery
+
+__all__ = [
+    "CachedLattice",
+    "CacheProbe",
+    "CacheStats",
+    "RuleCache",
+    "MIP_FAMILY",
+    "ARM_FAMILY",
+]
+
+#: Plan families a rules entry can belong to.  The five MIP plans return
+#: identical rule sets, so they share one family; ARM's locally-closed
+#: rule set is its own.
+MIP_FAMILY = "mip"
+ARM_FAMILY = "arm"
+
+#: Byte estimate per cached Rule beyond its item tuples (object headers,
+#: the two floats, the count).  Deliberately a fixed formula — the budget
+#: needs deterministic accounting, not sys.getsizeof's allocator trivia.
+_RULE_BASE_BYTES = 96
+_ITEM_BYTES = 16
+#: Per-entry bookkeeping overhead (key tuple, OrderedDict slot, _Entry).
+_ENTRY_BASE_BYTES = 256
+
+
+@dataclass(frozen=True)
+class CacheProbe:
+    """Outcome of one cache probe, as the optimizer prices it.
+
+    ``kind`` is ``"rules"`` (full hit), ``"lattice"`` (counts hit — rule
+    extraction still due), or ``None`` (miss).  ``family`` says which plan
+    family a rules hit replays; ``n_rules``/``lattice_cells`` size the
+    ``cache_load`` term.
+    """
+
+    kind: str | None
+    family: str = MIP_FAMILY
+    n_rules: int = 0
+    lattice_cells: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Running counters of the cache's behaviour (the hit/miss ledger)."""
+
+    probes: int = 0
+    rule_hits: int = 0
+    lattice_hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0        # entries larger than the whole budget
+    stale_drops: int = 0     # entries dropped on a generation mismatch
+    current_bytes: int = 0
+    budget_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "probes": self.probes,
+            "rule_hits": self.rule_hits,
+            "lattice_hits": self.lattice_hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+            "stale_drops": self.stale_drops,
+            "current_bytes": self.current_bytes,
+            "budget_bytes": self.budget_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class CachedLattice:
+    """One focal region's width-grouped subset-lattice counts.
+
+    ``groups`` pairs each same-width source batch with its ``(m, 2**n)``
+    int64 count matrix — exactly the intermediate
+    :func:`repro.core.operators._rules_from_qualified` builds before rule
+    extraction.  ``extract`` replays the extraction deterministically, so
+    a lattice hit is byte-identical to the fresh MIP-plan execution for
+    any ``minconf``.  ``extract_min_count`` is the expanded-mode frequency
+    floor (``None`` in closed mode, where the sources are already
+    qualified closures).
+    """
+
+    groups: tuple[tuple[tuple[Itemset, ...], np.ndarray], ...]
+    dq_size: int
+    extract_min_count: int | None
+
+    def extract(self, minconf: float) -> list[Rule]:
+        """Replay rule extraction from the cached counts."""
+        return rules_from_subset_lattices(
+            [(list(itemsets), counts) for itemsets, counts in self.groups],
+            self.dq_size,
+            minconf,
+            min_count=self.extract_min_count,
+        )
+
+    @property
+    def n_cells(self) -> int:
+        return sum(int(counts.size) for _, counts in self.groups)
+
+    def nbytes(self) -> int:
+        total = 0
+        for itemsets, counts in self.groups:
+            total += int(counts.nbytes)
+            total += sum(
+                _RULE_BASE_BYTES + _ITEM_BYTES * len(s) for s in itemsets
+            )
+        return total
+
+
+def _rules_nbytes(rules: list[Rule]) -> int:
+    return sum(
+        _RULE_BASE_BYTES
+        + _ITEM_BYTES * (len(r.antecedent) + len(r.consequent))
+        for r in rules
+    )
+
+
+@dataclass
+class _Entry:
+    kind: str                   # "rules" | "lattice"
+    payload: object             # list[Rule] | CachedLattice
+    nbytes: int
+    generation: int
+    hits: int = 0
+
+
+class RuleCache:
+    """The budget-bound materialized-result tier for one MIP-index.
+
+    Bound to its index so invalidation (the R-tree mutation counter) and
+    key canonicalization (full-domain selections are dropped, so queries
+    naming the same focal subset differently share entries) need no extra
+    plumbing.  ``expand`` mirrors the owning engine's mode and is part of
+    every key.
+    """
+
+    def __init__(
+        self,
+        index: "MIPIndex",
+        budget_bytes: int = 64 << 20,
+        landmark_hits: int = 4,
+        expand: bool = False,
+    ):
+        if budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        if landmark_hits < 1:
+            raise ValueError(f"landmark_hits must be >= 1, got {landmark_hits}")
+        self.index = index
+        self.expand = expand
+        self.landmark_hits = landmark_hits
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self.stats = CacheStats(budget_bytes=budget_bytes)
+
+    # -- keys and generations -------------------------------------------------
+
+    @property
+    def budget_bytes(self) -> int:
+        return self.stats.budget_bytes
+
+    def generation(self) -> int:
+        """The index's current mutation counter — the invalidation token."""
+        return self.index.rtree.tree.mutations
+
+    def focal_key(self, query: "LocalizedQuery") -> tuple:
+        """Canonical focal-subset key: full-domain selections dropped.
+
+        Two queries selecting the same records — one naming an attribute's
+        entire domain explicitly, one omitting it — share every cache
+        entry (and :mod:`repro.core.multiquery` counts them as one focal
+        subset).
+        """
+        cards = self.index.cardinalities
+        return tuple(sorted(
+            (ai, tuple(sorted(vs)))
+            for ai, vs in query.range_selections.items()
+            if len(vs) < cards[ai]
+        ))
+
+    def _aitem_key(self, query: "LocalizedQuery") -> tuple | None:
+        if query.item_attributes is None:
+            return None
+        return tuple(sorted(query.item_attributes))
+
+    def _rules_key(self, query: "LocalizedQuery", family: str) -> tuple:
+        return (
+            "rules",
+            self.focal_key(query),
+            self._aitem_key(query),
+            self.expand,
+            query.minsupp,
+            query.minconf,
+            family,
+        )
+
+    def _lattice_key(self, query: "LocalizedQuery") -> tuple:
+        return (
+            "lattice",
+            self.focal_key(query),
+            self._aitem_key(query),
+            self.expand,
+            query.minsupp,
+        )
+
+    # -- lookups ---------------------------------------------------------------
+
+    def _live_entry(self, key: tuple) -> _Entry | None:
+        """The entry at ``key`` if present *and* current-generation."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.generation != self.generation():
+            del self._entries[key]
+            self.stats.current_bytes -= entry.nbytes
+            self.stats.stale_drops += 1
+            return None
+        return entry
+
+    def probe(self, query: "LocalizedQuery") -> CacheProbe:
+        """What (if anything) the cache can serve for this query.
+
+        Preference order mirrors the replay cost: a full rules hit (MIP
+        family first — it is what a fresh optimizer run of a repeated
+        query would produce — then ARM), else a lattice-counts hit.
+        Probing never bumps LRU position or hit counts; only
+        :meth:`get_rules`/:meth:`get_lattice` (an actual serve) do.
+        """
+        self.stats.probes += 1
+        for family in (MIP_FAMILY, ARM_FAMILY):
+            entry = self._live_entry(self._rules_key(query, family))
+            if entry is not None:
+                return CacheProbe(
+                    kind="rules",
+                    family=family,
+                    n_rules=len(entry.payload),
+                )
+        entry = self._live_entry(self._lattice_key(query))
+        if entry is not None:
+            return CacheProbe(
+                kind="lattice",
+                lattice_cells=entry.payload.n_cells,
+            )
+        self.stats.misses += 1
+        return CacheProbe(kind=None)
+
+    def get_rules(
+        self, query: "LocalizedQuery", family: str = MIP_FAMILY
+    ) -> list[Rule] | None:
+        """Serve a full rules hit (a shallow copy — Rule is frozen)."""
+        key = self._rules_key(query, family)
+        entry = self._live_entry(key)
+        if entry is None:
+            return None
+        entry.hits += 1
+        self._entries.move_to_end(key)
+        self.stats.rule_hits += 1
+        return list(entry.payload)
+
+    def get_lattice(self, query: "LocalizedQuery") -> CachedLattice | None:
+        """Serve the focal region's lattice counts (shared, read-only)."""
+        key = self._lattice_key(query)
+        entry = self._live_entry(key)
+        if entry is None:
+            return None
+        entry.hits += 1
+        self._entries.move_to_end(key)
+        self.stats.lattice_hits += 1
+        return entry.payload
+
+    # -- population ------------------------------------------------------------
+
+    def put_rules(
+        self,
+        query: "LocalizedQuery",
+        rules: list[Rule],
+        family: str = MIP_FAMILY,
+        generation: int | None = None,
+    ) -> bool:
+        """Insert one finished rule set.
+
+        ``generation`` is the caller's pre-execution snapshot; if the
+        index has mutated since (the rules were computed against a tree
+        that no longer exists), the insert is refused — stale results
+        never enter the cache.
+        """
+        if family not in (MIP_FAMILY, ARM_FAMILY):
+            raise ValueError(f"unknown rule family {family!r}")
+        nbytes = _ENTRY_BASE_BYTES + _rules_nbytes(rules)
+        return self._insert(
+            self._rules_key(query, family), "rules", list(rules),
+            nbytes, generation,
+        )
+
+    def put_lattice(
+        self,
+        query: "LocalizedQuery",
+        lattice: CachedLattice,
+        generation: int | None = None,
+    ) -> bool:
+        """Insert one focal region's subset-lattice counts."""
+        for _, counts in lattice.groups:
+            counts.setflags(write=False)
+        nbytes = _ENTRY_BASE_BYTES + lattice.nbytes()
+        return self._insert(
+            self._lattice_key(query), "lattice", lattice, nbytes, generation
+        )
+
+    def _insert(
+        self,
+        key: tuple,
+        kind: str,
+        payload: object,
+        nbytes: int,
+        generation: int | None,
+    ) -> bool:
+        current = self.generation()
+        if generation is not None and generation != current:
+            self.stats.stale_drops += 1
+            return False
+        if nbytes > self.stats.budget_bytes:
+            self.stats.rejected += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.stats.current_bytes -= old.nbytes
+        self._entries[key] = _Entry(
+            kind=kind, payload=payload, nbytes=nbytes, generation=current
+        )
+        self.stats.current_bytes += nbytes
+        self.stats.insertions += 1
+        self._evict_to_budget()
+        return True
+
+    def _evict_to_budget(self) -> None:
+        """LRU eviction with landmark protection.
+
+        Cold entries (fewer than ``landmark_hits`` serves) go first in LRU
+        order; landmarks are only reclaimed when no cold entry remains —
+        so a sweep of one-off regions evicts itself, not the hot set.
+        """
+        while self.stats.current_bytes > self.stats.budget_bytes:
+            victim_key = None
+            for key, entry in self._entries.items():
+                if entry.hits < self.landmark_hits:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                # All landmarks: reclaim in LRU order after all.
+                victim_key = next(iter(self._entries))
+            entry = self._entries.pop(victim_key)
+            self.stats.current_bytes -= entry.nbytes
+            self.stats.evictions += 1
+
+    # -- maintenance -----------------------------------------------------------
+
+    def invalidate(self) -> int:
+        """Drop every entry (e.g. after a bulk index rebuild); returns count."""
+        n = len(self._entries)
+        self._entries.clear()
+        self.stats.stale_drops += n
+        self.stats.current_bytes = 0
+        return n
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {"rules": 0, "lattice": 0}
+        for entry in self._entries.values():
+            out[entry.kind] += 1
+        return out
+
+    # -- calibration probes ----------------------------------------------------
+
+    def measure_probe_overhead(self, rounds: int = 200) -> float:
+        """Median seconds per :meth:`probe` call (measured on a miss —
+        the common shape: key construction plus the tier lookups)."""
+        from repro.core.query import LocalizedQuery
+
+        card = self.index.cardinalities[0]
+        query = LocalizedQuery(
+            range_selections={0: frozenset(range(max(1, card - 1)))},
+            minsupp=0.5,
+            minconf=0.5,
+        )
+        before = (self.stats.probes, self.stats.misses)
+        samples = []
+        for _ in range(max(rounds, 8)):
+            start = time.perf_counter()
+            self.probe(query)
+            samples.append(time.perf_counter() - start)
+        self.stats.probes, self.stats.misses = before
+        samples.sort()
+        return samples[len(samples) // 2]
+
+    @staticmethod
+    def measure_load_throughput(n_rules: int = 4096, rounds: int = 3) -> float:
+        """Seconds per served element (the shallow-copy cost of a full
+        hit; the lattice tier's per-cell gather is the same order)."""
+        from repro.dataset.schema import Item
+
+        rules = [
+            Rule(
+                antecedent=(Item(0, i % 3),),
+                consequent=(Item(1, i % 5),),
+                support_count=i,
+                support=0.5,
+                confidence=0.5,
+            )
+            for i in range(n_rules)
+        ]
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            copied = list(rules)
+            best = min(best, time.perf_counter() - start)
+        del copied
+        return best / n_rules

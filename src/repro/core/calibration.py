@@ -27,11 +27,13 @@ from repro.core.query import LocalizedQuery
 from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.cache import RuleCache
     from repro.parallel import ParallelContext
 
 __all__ = [
     "CalibrationReport",
     "calibrate",
+    "calibrate_cache",
     "calibrate_parallel",
     "default_probe_queries",
 ]
@@ -297,6 +299,29 @@ def calibrate_parallel(
     fitted["par_merge"] = max(
         _measure_merge_throughput(parallel.n_shards), 1e-12
     )
+    return CostWeights(fitted)
+
+
+def calibrate_cache(cache: "RuleCache", weights: CostWeights) -> CostWeights:
+    """Fit the materialized-cache weights from the live cache.
+
+    Mirrors :func:`calibrate_parallel`: the two cache cost terms are
+    measured, not guessed —
+
+    * ``cache_probe`` — seconds per :meth:`~repro.cache.RuleCache.probe`
+      call (key construction plus the tier lookups), the fixed price every
+      CACHE variant pays;
+    * ``cache_load`` — seconds per served element (a rules hit's shallow
+      copy per rule; a lattice hit's extraction scales with its count
+      cells through the same term plus the serial ``rulegen`` weight).
+
+    Every other weight is untouched; note that rerunning
+    :func:`calibrate` afterwards resets these two to their defaults (the
+    probe traces never exercise them), so fit the cache last.
+    """
+    fitted = dict(weights.weights)
+    fitted["cache_probe"] = max(cache.measure_probe_overhead(), 1e-8)
+    fitted["cache_load"] = max(cache.measure_load_throughput(), 1e-12)
     return CostWeights(fitted)
 
 

@@ -56,7 +56,12 @@ __all__ = [
 #: ``par_dispatch``/``par_merge`` price the sharded plan variants only
 #: (per-shard-task pool round-trips and per-shard partial merges); they are
 #: fitted from the live pool by ``calibration.calibrate_parallel`` and never
-#: appear in a serial load vector.
+#: appear in a serial load vector.  ``cache_probe``/``cache_load`` price the
+#: CACHE plan variants only (one materialized-tier probe per query, plus the
+#: per-element serve cost — a rules hit copies ``n_rules`` references, a
+#: lattice hit gathers ``lattice_cells`` counts before re-extracting); they
+#: are fitted from the live cache by ``calibration.calibrate_cache`` and
+#: never appear in a serial load vector either.
 DEFAULT_WEIGHTS: dict[str, float] = {
     "search": 3e-6,
     "eliminate": 3e-8,
@@ -67,6 +72,8 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "const": 5e-5,
     "par_dispatch": 2e-4,
     "par_merge": 1e-9,
+    "cache_probe": 5e-6,
+    "cache_load": 2e-8,
 }
 
 
@@ -912,6 +919,48 @@ class CostModel:
         )
         return loads
 
+    def cached_loads(
+        self,
+        kind: PlanKind,
+        profile: QueryProfile,
+        probe,
+    ) -> dict[str, float] | None:
+        """The load vector of one plan's CACHE variant, given a live probe.
+
+        ``probe`` is a :class:`repro.cache.CacheProbe` (typed loosely to
+        keep this module cache-agnostic).  Returns ``None`` when nothing
+        is cached for the query, or when the cached entry belongs to the
+        other plan family — an ``"arm"`` rules entry only prices ARM's
+        cached variant, a MIP-family entry only the five MIP plans'
+        (cached results replay their own family, never stand in for the
+        other one: in closed mode ARM's locally-closed rule set can
+        differ from the MIP plans').
+
+        * full rules hit — one probe plus the per-rule serve copy: the
+          whole pipeline collapses to ``cache_probe + n_rules x
+          cache_load``;
+        * lattice hit — SEARCH/ELIMINATE and all support counting are
+          skipped, but extraction is still due: the gather of
+          ``lattice_cells`` counts (``cache_load``) plus the confidence
+          pass priced by the fitted ``rulegen`` weight on the *known*
+          cell count (tighter than the profile's estimated fan-out —
+          the cache knows exactly how much lattice it stored).
+        """
+        if probe is None or probe.kind is None:
+            return None
+        if (probe.family == "arm") != (kind is PlanKind.ARM):
+            return None
+        if probe.kind == "rules":
+            return {
+                "cache_probe": 1.0,
+                "cache_load": float(probe.n_rules),
+            }
+        return {
+            "cache_probe": 1.0,
+            "cache_load": float(probe.lattice_cells),
+            "rulegen": float(probe.lattice_cells) + _RULEGEN_OVERHEAD_UNITS,
+        }
+
     # -- costs ------------------------------------------------------------------
 
     def estimate(self, kind: PlanKind, profile: QueryProfile) -> float:
@@ -941,4 +990,15 @@ class CostModel:
             est = self.estimate_parallel(kind, profile, par)
             if est is not None:
                 out[kind] = est
+        return out
+
+    def estimate_all_cached(
+        self, profile: QueryProfile, probe
+    ) -> dict[PlanKind, float]:
+        """CACHE-variant costs for every plan the probe's entry can serve."""
+        out: dict[PlanKind, float] = {}
+        for kind in PlanKind:
+            loads = self.cached_loads(kind, profile, probe)
+            if loads is not None:
+                out[kind] = self.weights.price(loads)
         return out

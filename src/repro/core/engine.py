@@ -19,22 +19,27 @@ through :meth:`Colarm.query`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro import tidset as ts
+from repro.cache import ARM_FAMILY, MIP_FAMILY, CachedLattice, RuleCache
 from repro.core.calibration import (
     CalibrationReport,
     calibrate,
+    calibrate_cache,
     calibrate_parallel,
     default_probe_queries,
 )
 from repro.core.costs import CostWeights
 from repro.core.mipindex import MIPIndex, build_mip_index
+from repro.core.operators import ExecutionTrace
 from repro.core.optimizer import ColarmOptimizer, PlanChoice
 from repro.core.parser import parse_query
 from repro.core.plans import PlanKind, PlanResult, execute_plan, plan_from_name
 from repro.core.query import LocalizedQuery
 from repro.dataset.table import RelationalTable
+from repro.itemsets.apriori import min_count_for
 from repro.itemsets.rules import Rule, rules_from_itemsets
 from repro.rtree.rtree import DEFAULT_MAX_ENTRIES
 
@@ -50,6 +55,7 @@ class QueryOutcome:
     chosen_by: str                  # "optimizer" or "forced"
     choice: PlanChoice | None       # present when the optimizer ran
     result: PlanResult
+    cached: bool = False            # served from the materialized cache
 
     @property
     def n_rules(self) -> int:
@@ -82,6 +88,7 @@ class Colarm:
         self.expand = expand
         self.optimizer = ColarmOptimizer(self.index, weights)
         self.parallel = None
+        self.cache: RuleCache | None = None
 
     @classmethod
     def from_index(
@@ -96,6 +103,7 @@ class Colarm:
         engine.expand = expand
         engine.optimizer = ColarmOptimizer(index, weights)
         engine.parallel = None
+        engine.cache = None
         return engine
 
     # -- introspection ------------------------------------------------------
@@ -169,6 +177,59 @@ class Colarm:
         """Release the shard pool and its shared segments (if configured)."""
         self.configure(parallel=None)
 
+    # -- offline: materialized rule caches ------------------------------------
+
+    def enable_cache(
+        self,
+        budget_bytes: int = 64 << 20,
+        landmark_hits: int = 4,
+        calibrate: bool = True,
+        cache: RuleCache | None = None,
+    ) -> "Colarm":
+        """Attach a budget-bound materialized-result cache (:mod:`repro.cache`).
+
+        Enabling:
+
+        1. builds a :class:`~repro.cache.RuleCache` bound to this index
+           (or adopts ``cache``, e.g. one warm-loaded from disk via
+           :func:`repro.core.persistence.load_cache`);
+        2. fits the ``cache_probe``/``cache_load`` cost weights from the
+           live cache (:func:`repro.core.calibration.calibrate_cache`) —
+           run *after* :meth:`calibrate`, which refits from plan traces
+           and would reset them to defaults;
+        3. installs the cache in the optimizer, which from then on probes
+           it per query and prices a CACHE variant for every plan the
+           cached entry can serve.
+
+        Idempotent (replaces any previous cache); returns ``self``.
+        """
+        if cache is not None:
+            if cache.expand != self.expand:
+                raise ValueError(
+                    f"cache expand={cache.expand} does not match "
+                    f"engine expand={self.expand}"
+                )
+            self.cache = cache
+        else:
+            self.cache = RuleCache(
+                self.index,
+                budget_bytes=budget_bytes,
+                landmark_hits=landmark_hits,
+                expand=self.expand,
+            )
+        if calibrate:
+            self.optimizer.set_weights(
+                calibrate_cache(self.cache, self.optimizer.weights)
+            )
+        self.optimizer.set_cache(self.cache)
+        return self
+
+    def disable_cache(self) -> "Colarm":
+        """Detach the materialized cache (queries mine fresh again)."""
+        self.cache = None
+        self.optimizer.set_cache(None)
+        return self
+
     # -- online: queries -------------------------------------------------------
 
     def parse(self, text: str) -> LocalizedQuery:
@@ -179,6 +240,7 @@ class Colarm:
         self,
         request: LocalizedQuery | str,
         plan: PlanKind | str | None = None,
+        use_cache: bool = True,
     ) -> QueryOutcome:
         """Answer one localized mining request.
 
@@ -191,20 +253,39 @@ class Colarm:
         attached only then, so a serial pick costs nothing extra.  Forced
         plans always get the context (the per-call break-even gate still
         applies); either way the rules are identical to serial.
+
+        When a materialized cache is enabled (and ``use_cache``), the
+        optimizer's choice also says whether to *serve* the plan from the
+        cache — byte-identical to executing it fresh — and every fresh
+        execution populates the cache for the next repeat.  Forced plans
+        consult only the exact-key rules tier of their own plan family.
+        ``use_cache=False`` bypasses both consulting and populating.
         """
         q = self.parse(request) if isinstance(request, str) else request
+        consult = use_cache and self.cache is not None
         if plan is None:
-            choice = self.optimizer.choose(q)
+            choice = self.optimizer.choose(q, use_cache=consult)
             kind, chosen_by = choice.kind, "optimizer"
             parallel = self.parallel if choice.parallel else None
+            if choice.cached:
+                served = self._serve_cached(q, kind, choice)
+                if served is not None:
+                    return served
         else:
             choice = None
             kind = plan_from_name(plan) if isinstance(plan, str) else plan
             chosen_by = "forced"
             parallel = self.parallel
+            if consult:
+                served = self._serve_forced_cached(q, kind)
+                if served is not None:
+                    return served
+        generation = self.cache.generation() if consult else None
         result = execute_plan(
             kind, self.index, q, expand=self.expand, parallel=parallel
         )
+        if consult:
+            self._populate_cache(q, kind, result, generation)
         return QueryOutcome(
             rules=result.rules,
             plan=kind,
@@ -212,6 +293,107 @@ class Colarm:
             choice=choice,
             result=result,
         )
+
+    def _serve_cached(
+        self, q: LocalizedQuery, kind: PlanKind, choice: PlanChoice
+    ) -> QueryOutcome | None:
+        """Serve the optimizer's CACHE pick; ``None`` falls back to fresh
+        execution (the entry was evicted between probe and serve)."""
+        probe = choice.cache_probe
+        start = time.perf_counter()
+        if probe.kind == "rules":
+            rules = self.cache.get_rules(q, probe.family)
+        else:
+            lattice = self.cache.get_lattice(q)
+            if lattice is None:
+                return None
+            rules = lattice.extract(q.minconf)
+            # The extracted set upgrades to a full rules hit on the next
+            # exact-key repeat (lattice hits only price MIP plans).
+            self.cache.put_rules(
+                q, rules, family=MIP_FAMILY,
+                generation=self.cache.generation(),
+            )
+        if rules is None:
+            return None
+        elapsed = time.perf_counter() - start
+        result = PlanResult(
+            kind=kind,
+            rules=rules,
+            trace=ExecutionTrace(),
+            elapsed=elapsed,
+            dq_size=choice.profile.dq_size,
+        )
+        return QueryOutcome(
+            rules=rules,
+            plan=kind,
+            chosen_by="optimizer",
+            choice=choice,
+            result=result,
+            cached=True,
+        )
+
+    def _serve_forced_cached(
+        self, q: LocalizedQuery, kind: PlanKind
+    ) -> QueryOutcome | None:
+        """Exact-key rules-tier lookup for a forced plan (its own family)."""
+        q.validate_against(self.schema)
+        family = ARM_FAMILY if kind is PlanKind.ARM else MIP_FAMILY
+        start = time.perf_counter()
+        rules = self.cache.get_rules(q, family)
+        if rules is None:
+            return None
+        dq_size = ts.count(
+            self.index.table.tids_matching(q.range_selections)
+        )
+        elapsed = time.perf_counter() - start
+        result = PlanResult(
+            kind=kind,
+            rules=rules,
+            trace=ExecutionTrace(),
+            elapsed=elapsed,
+            dq_size=dq_size,
+        )
+        return QueryOutcome(
+            rules=rules,
+            plan=kind,
+            chosen_by="forced",
+            choice=None,
+            result=result,
+            cached=True,
+        )
+
+    def _populate_cache(
+        self,
+        q: LocalizedQuery,
+        kind: PlanKind,
+        result: PlanResult,
+        generation: int | None,
+    ) -> None:
+        """Insert a fresh execution's products under its pre-execution
+        generation snapshot (refused if the index mutated mid-flight)."""
+        if kind is PlanKind.ARM:
+            self.cache.put_rules(
+                q, result.rules, family=ARM_FAMILY, generation=generation
+            )
+            return
+        self.cache.put_rules(
+            q, result.rules, family=MIP_FAMILY, generation=generation
+        )
+        if result.lattice_groups is not None:
+            lattice = CachedLattice(
+                groups=tuple(
+                    (tuple(group), counts)
+                    for group, counts in result.lattice_groups
+                ),
+                dq_size=result.dq_size,
+                extract_min_count=(
+                    min_count_for(q.minsupp, result.dq_size)
+                    if self.expand
+                    else None
+                ),
+            )
+            self.cache.put_lattice(q, lattice, generation=generation)
 
     def compare_plans(
         self, request: LocalizedQuery | str

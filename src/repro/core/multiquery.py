@@ -14,11 +14,22 @@ sharing work across them:
 * the *focal projection* (:class:`repro.kernels.FocalKernel` — the dense
   ``|D^Q|``-bit repack of the item tidsets) is built once per distinct
   focal subset and shared by every query in the group, so only the first
-  query of a group pays the projection cost.
+  query of a group pays the projection cost;
+* in closed mode, the *subset-lattice counts* of each source itemset
+  (:meth:`~repro.kernels.FocalKernel.count_subset_lattice` rows) are
+  memoized per group — a later query at a different threshold recounts
+  only sources the earlier queries did not qualify, and its rule
+  extraction replays the memoized rows for the rest.
+
+Focal-subset grouping is *canonical*: selections naming an attribute's
+entire domain are dropped from the group key, so queries that select the
+same records — one spelling the full domain out, one omitting it — share
+one group (and ``n_groups`` counts distinct focal subsets, not distinct
+spellings).
 
 ``execute_batch`` reports per-query results plus the work actually shared
-(including the projection-cache hit rate), and the tests compare its
-output against one-at-a-time execution.
+(including the projection- and lattice-hit rates), and the tests compare
+its output against one-at-a-time execution.
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ import numpy as np
 from repro import kernels, tidset as ts
 from repro.core.mipindex import MIPIndex
 from repro.core.operators import (
+    _LATTICE_MAX_WIDTH,
     QualifiedArray,
     QueryContext,
     _aitem_mask,
@@ -39,7 +51,8 @@ from repro.core.operators import (
 from repro.core.query import LocalizedQuery
 from repro.errors import QueryError
 from repro.itemsets.apriori import min_count_for
-from repro.itemsets.rules import Rule
+from repro.itemsets.itemset import Itemset
+from repro.itemsets.rules import Rule, rules_from_subset_lattices
 
 __all__ = ["BatchItem", "BatchReport", "execute_batch"]
 
@@ -64,6 +77,7 @@ class BatchReport:
     elapsed: float
     n_projections: int = 0  # focal projections actually built
     projection_hits: int = 0  # queries served by an already-built projection
+    lattice_hits: int = 0   # source lattices replayed from the group memo
 
     @property
     def n_queries(self) -> int:
@@ -85,11 +99,20 @@ def execute_batch(
     items: list[BatchItem | None] = [None] * len(queries)
     n_projections = 0
     projection_hits = 0
+    lattice_hits = 0
+    cards = index.cardinalities
 
     for qi, query in enumerate(queries):
         query.validate_against(index.table.schema)
+        # Canonical focal key: a selection spanning an attribute's whole
+        # domain selects nothing, so it is dropped — otherwise queries
+        # naming the same focal subset differently (e.g. differing only
+        # in thresholds after a full-domain spelling) split into separate
+        # groups and n_groups overcounts distinct subsets.
         key = tuple(sorted(
-            (ai, tuple(sorted(vs))) for ai, vs in query.range_selections.items()
+            (ai, tuple(sorted(vs)))
+            for ai, vs in query.range_selections.items()
+            if len(vs) < cards[ai]
         ))
         if key not in groups:
             focal = query.focal_range(index.cardinalities)
@@ -119,6 +142,7 @@ def execute_batch(
                 "rows": rows,
                 "counts": counts,
                 "kernel": None,  # focal projection, built on first use
+                "lattice": {},   # Itemset -> its subset-lattice count row
             })
         gid = groups[key]
         data = group_data[gid]
@@ -145,7 +169,12 @@ def execute_batch(
         counts_q = data["counts"][:n_keep]
         keep = _aitem_mask(ctx, rows_q)
         qualified = QualifiedArray(index, rows_q[keep], counts_q[keep])
-        rules, _lookups, _kernel_s = _rules_from_qualified(ctx, qualified)
+        shared = _rules_with_shared_lattice(ctx, qualified, data["lattice"])
+        if shared is not None:
+            rules, hits = shared
+            lattice_hits += hits
+        else:
+            rules, _lookups, _kernel_s = _rules_from_qualified(ctx, qualified)
         items[qi] = BatchItem(
             query=query, rules=rules, dq_size=data["dq_size"], shared_group=gid
         )
@@ -157,7 +186,57 @@ def execute_batch(
         elapsed=time.perf_counter() - start,
         n_projections=n_projections,
         projection_hits=projection_hits,
+        lattice_hits=lattice_hits,
     )
+
+
+def _rules_with_shared_lattice(
+    ctx: QueryContext,
+    qualified: QualifiedArray,
+    memo: "dict[Itemset, np.ndarray]",
+) -> tuple[list[Rule], int] | None:
+    """Closed-mode rule generation replaying the group's lattice memo.
+
+    Each qualified closure's subset-lattice count row is computed at most
+    once per focal-subset group: rows already memoized by an earlier query
+    of the group (at any threshold) are reused verbatim, only the missing
+    sources hit the kernel, and extraction runs over the combined rows —
+    the same :func:`rules_from_subset_lattices` call as the per-query
+    path, so the rule sets are byte-identical (its canonical ordering is
+    source-order independent).
+
+    Returns ``(rules, n_memo_hits)``, or ``None`` to fall back to
+    :func:`_rules_from_qualified` (expanded mode — sources depend on the
+    query's own frequency floor, so rows are not reusable as-is — or a
+    pathologically wide closure).
+    """
+    if ctx.expand:
+        return None
+    sources: list[Itemset] = []
+    seen: set[Itemset] = set()
+    for mip, local in qualified:
+        itemset = mip.itemset
+        if len(itemset) >= 2 and local > 0 and itemset not in seen:
+            seen.add(itemset)
+            sources.append(itemset)
+    by_width: dict[int, list[Itemset]] = {}
+    for itemset in sources:
+        by_width.setdefault(len(itemset), []).append(itemset)
+    if any(n > _LATTICE_MAX_WIDTH for n in by_width):
+        return None  # pragma: no cover - beyond any schema in this repo
+    hits = 0
+    groups: list[tuple[list[Itemset], np.ndarray]] = []
+    for n in sorted(by_width):
+        group = by_width[n]
+        missing = [s for s in group if s not in memo]
+        if missing:
+            counts_new = ctx.focal_kernel().count_subset_lattice(missing)
+            for i, itemset in enumerate(missing):
+                memo[itemset] = counts_new[i]
+        hits += len(group) - len(missing)
+        groups.append((group, np.stack([memo[s] for s in group])))
+    rules = rules_from_subset_lattices(groups, ctx.dq_size, ctx.query.minconf)
+    return rules, hits
 
 
 def _group_candidate_rows(index: MIPIndex, focal) -> np.ndarray:

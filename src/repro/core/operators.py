@@ -214,6 +214,13 @@ class QueryContext:
     #: Kernel batches actually served by the shard pool so far (trace deltas
     #: report per-operator shares as ``sharded_calls``).
     sharded_calls: int = 0
+    #: Per-width subset-lattice groups from the last VERIFY-family rule
+    #: generation (``[(sources, (m, 2**n) counts), ...]``) — the reusable
+    #: intermediate the materialized cache stores.  ``None`` when rule
+    #: generation bypassed the lattice (wide fallback) or never ran.
+    lattice_groups: "list[tuple[list[Itemset], np.ndarray]] | None" = field(
+        default=None, repr=False
+    )
     _dq_packed: np.ndarray | None = field(default=None, repr=False)
     _focal_kernel: "kernels.FocalKernel | None" = field(default=None, repr=False)
 
@@ -735,6 +742,9 @@ def _rules_from_qualified(
         ctx.query.minconf,
         min_count=ctx.min_count if ctx.expand else None,
     )
+    # Expose the counted lattices for the materialized cache — only when
+    # they cover *all* sources (the wide fallback's rules are not in them).
+    ctx.lattice_groups = None if wide else groups
     if wide:  # pragma: no cover - beyond any schema in this repo
         family: set[Itemset] = set()
         for itemset in wide:

@@ -11,6 +11,7 @@ for this implementation.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro import tidset as ts
@@ -40,6 +41,11 @@ _TIE_PREFERENCE: dict[PlanKind, int] = {
     PlanKind.ARM: 5,
 }
 
+#: Bound on the per-optimizer profile memo (see
+#: :meth:`ColarmOptimizer.profile_for`): enough for any realistic hot
+#: query set, small enough that stale-generation leftovers never matter.
+_PROFILE_MEMO_MAX = 256
+
 
 @dataclass(frozen=True)
 class EstimateResidual:
@@ -58,6 +64,7 @@ class EstimateResidual:
     arm_f1: int = 0          # measured local structure behind the ARM price
     arm_chain: int = 0
     parallel: bool = False   # sharded execution variant of the plan
+    cached: bool = False     # materialized-cache variant of the plan
 
     @property
     def log_ratio(self) -> float:
@@ -73,7 +80,13 @@ class PlanChoice:
     When a parallel cost profile is installed, ``parallel_estimates``
     holds the sharded-variant prices (no ARM entry: the from-scratch
     miner has no parallel twin) and ``parallel`` says whether the chosen
-    plan should execute sharded.
+    plan should execute sharded.  When a materialized cache is installed
+    and its probe hit, ``cached_estimates`` holds the CACHE-variant
+    prices (one per plan the cached entry can serve), ``cached`` says
+    whether the chosen plan should be served from the cache, and
+    ``cache_probe`` carries the live probe the prices were built from
+    (``kind``/``family``/sizes — what the engine needs to actually serve
+    the hit).
     """
 
     kind: PlanKind
@@ -81,6 +94,9 @@ class PlanChoice:
     profile: QueryProfile
     parallel: bool = False
     parallel_estimates: dict[PlanKind, float] = field(default_factory=dict)
+    cached: bool = False
+    cached_estimates: dict[PlanKind, float] = field(default_factory=dict)
+    cache_probe: object | None = None   # repro.cache.CacheProbe when probed
 
     def explain(self) -> str:
         """Human-readable ranking of the plan variants."""
@@ -89,14 +105,21 @@ class PlanChoice:
             f"min_count={self.profile.min_count}"
         ]
         ranked = [
-            (cost, kind, False) for kind, cost in self.estimates.items()
+            (cost, kind, "") for kind, cost in self.estimates.items()
         ] + [
-            (cost, kind, True)
+            (cost, kind, "+P")
             for kind, cost in self.parallel_estimates.items()
+        ] + [
+            (cost, kind, "+C")
+            for kind, cost in self.cached_estimates.items()
         ]
-        for cost, kind, is_par in sorted(ranked, key=lambda kv: kv[0]):
-            label = kind.value + ("+P" if is_par else "")
-            chosen = kind is self.kind and is_par == self.parallel
+        for cost, kind, tag in sorted(ranked, key=lambda kv: kv[0]):
+            label = kind.value + tag
+            chosen = (
+                kind is self.kind
+                and (tag == "+P") == self.parallel
+                and (tag == "+C") == self.cached
+            )
             marker = " <== chosen" if chosen else ""
             lines.append(f"  {label:<11} est {cost:.6f}s{marker}")
         return "\n".join(lines)
@@ -133,10 +156,28 @@ class ColarmOptimizer:
         #: is priced both serial and sharded and :meth:`choose` picks
         #: across all variants.
         self.parallel_profile: ParallelCostProfile | None = None
+        #: Materialized-result cache (None = none installed); installed by
+        #: ``Colarm.enable_cache``.  While set, :meth:`choose` probes it
+        #: per query, prices a CACHE variant for every plan the cached
+        #: entry can serve, and logs the probe outcome in
+        #: :attr:`cache_ledger`.
+        self.cache = None
+        #: Hit/miss/pick outcomes of every cache probe made by
+        #: :meth:`choose` — the measurement ledger's cache section.
+        self.cache_ledger: dict[str, int] = {
+            "probes": 0,
+            "rule_hits": 0,
+            "lattice_hits": 0,
+            "misses": 0,
+            "cached_picks": 0,
+        }
         #: estimate-vs-actual observations fed back by the caller
         #: (:meth:`record_measurement`); unbounded only if the caller
         #: keeps feeding it — benches clear it per run.
         self.residuals: list[EstimateResidual] = []
+        #: (query, index generation) -> QueryProfile LRU memo; see
+        #: :meth:`profile_for`.
+        self._profile_memo: "OrderedDict[tuple, QueryProfile]" = OrderedDict()
 
     @property
     def weights(self) -> CostWeights:
@@ -149,8 +190,27 @@ class ColarmOptimizer:
         """Install (or clear) the sharded-execution cost profile."""
         self.parallel_profile = profile
 
+    def set_cache(self, cache) -> None:
+        """Install (or clear) the materialized-result cache to price."""
+        self.cache = cache
+
     def profile_for(self, query: LocalizedQuery) -> QueryProfile:
-        """Resolve the focal subset and build the query's cost profile."""
+        """Resolve the focal subset and build the query's cost profile.
+
+        The profile is a pure function of the (frozen, hashable) query
+        and the index state, so it is memoized per (query, index
+        generation) under a small LRU bound: the density-aware ARM model
+        *measures* the focal subset's frequent-item structure, which
+        costs milliseconds — on the repeated-query workloads the
+        materialized cache serves, re-measuring an unchanged subset per
+        repeat would dwarf the cache hit itself.  Any index mutation
+        changes the generation key, so a stale profile is never reused.
+        """
+        memo_key = (query, self.index.rtree.tree.mutations)
+        cached = self._profile_memo.get(memo_key)
+        if cached is not None:
+            self._profile_memo.move_to_end(memo_key)
+            return cached
         query.validate_against(self.index.table.schema)
         focal = query.focal_range(self.index.cardinalities)
         dq = self.index.table.tids_matching(query.range_selections)
@@ -162,7 +222,7 @@ class ColarmOptimizer:
             (item.attribute, item.value): mask
             for item, mask in self.index.table.item_tidsets().items()
         }
-        return QueryProfile.from_query(
+        profile = QueryProfile.from_query(
             query,
             focal,
             self.index.stats,
@@ -171,8 +231,14 @@ class ColarmOptimizer:
             item_local_tidsets=item_tidsets,
             dq=dq,
         )
+        self._profile_memo[memo_key] = profile
+        if len(self._profile_memo) > _PROFILE_MEMO_MAX:
+            self._profile_memo.popitem(last=False)
+        return profile
 
-    def choose(self, query: LocalizedQuery) -> PlanChoice:
+    def choose(
+        self, query: LocalizedQuery, use_cache: bool = True
+    ) -> PlanChoice:
         """Suggest the cheapest plan for this request.
 
         Estimate ties break by :data:`_TIE_PREFERENCE`, not enum order:
@@ -186,9 +252,13 @@ class ColarmOptimizer:
 
         With a parallel profile installed, the candidate set doubles:
         every MIP plan is also priced as its sharded variant, and the
-        cheapest variant overall wins.  A serial variant beats a sharded
-        one at equal cost (the dispatch risk buys nothing) — it sorts
-        first in the tie key.
+        cheapest variant overall wins.  With a materialized cache
+        installed (and ``use_cache``), the cache is probed and — on a hit
+        — every plan the entry can serve gets a CACHE variant too.  The
+        variant rank breaks exact ties: cached beats serial (a hit is
+        strictly less work and byte-identical to its plan family's fresh
+        execution) and serial beats sharded (the dispatch risk buys
+        nothing at equal cost).
         """
         profile = self.profile_for(query)
         estimates = self.cost_model.estimate_all(profile)
@@ -197,6 +267,20 @@ class ColarmOptimizer:
             parallel_estimates = self.cost_model.estimate_all_parallel(
                 profile, self.parallel_profile
             )
+        cache_probe = None
+        cached_estimates: dict[PlanKind, float] = {}
+        if self.cache is not None and use_cache:
+            cache_probe = self.cache.probe(query)
+            self.cache_ledger["probes"] += 1
+            if cache_probe.kind == "rules":
+                self.cache_ledger["rule_hits"] += 1
+            elif cache_probe.kind == "lattice":
+                self.cache_ledger["lattice_hits"] += 1
+            else:
+                self.cache_ledger["misses"] += 1
+            cached_estimates = self.cost_model.estimate_all_cached(
+                profile, cache_probe
+            )
 
         def adjust(kind: PlanKind, cost: float) -> float:
             return cost * (
@@ -204,19 +288,27 @@ class ColarmOptimizer:
             )
 
         candidates = [
-            (adjust(kind, cost), 0, _TIE_PREFERENCE[kind], kind, False)
+            (adjust(kind, cost), 1, _TIE_PREFERENCE[kind], kind, False, False)
             for kind, cost in estimates.items()
         ] + [
-            (adjust(kind, cost), 1, _TIE_PREFERENCE[kind], kind, True)
+            (adjust(kind, cost), 2, _TIE_PREFERENCE[kind], kind, True, False)
             for kind, cost in parallel_estimates.items()
+        ] + [
+            (adjust(kind, cost), 0, _TIE_PREFERENCE[kind], kind, False, True)
+            for kind, cost in cached_estimates.items()
         ]
-        _, _, _, best, best_parallel = min(candidates)
+        _, _, _, best, best_parallel, best_cached = min(candidates)
+        if best_cached:
+            self.cache_ledger["cached_picks"] += 1
         return PlanChoice(
             kind=best,
             estimates=estimates,
             profile=profile,
             parallel=best_parallel,
             parallel_estimates=parallel_estimates,
+            cached=best_cached,
+            cached_estimates=cached_estimates,
+            cache_probe=cache_probe,
         )
 
     # -- estimate-vs-actual feedback ----------------------------------------
@@ -227,18 +319,21 @@ class ColarmOptimizer:
         kind: PlanKind,
         measured_s: float,
         parallel: bool = False,
+        cached: bool = False,
     ) -> EstimateResidual:
         """Log one measured plan execution against its estimate.
 
         ``parallel=True`` scores the measurement against the plan's
-        sharded-variant estimate (it must exist in the choice).
+        sharded-variant estimate (it must exist in the choice);
+        ``cached=True`` against its CACHE-variant estimate.
         """
         arm = choice.profile.arm_stats
-        estimated = (
-            choice.parallel_estimates[kind]
-            if parallel
-            else choice.estimates[kind]
-        )
+        if cached:
+            estimated = choice.cached_estimates[kind]
+        elif parallel:
+            estimated = choice.parallel_estimates[kind]
+        else:
+            estimated = choice.estimates[kind]
         residual = EstimateResidual(
             kind=kind,
             estimated_s=estimated,
@@ -247,6 +342,7 @@ class ColarmOptimizer:
             arm_f1=arm.f1 if arm is not None else 0,
             arm_chain=arm.chain_length if arm is not None else 0,
             parallel=parallel,
+            cached=cached,
         )
         self.residuals.append(residual)
         return residual

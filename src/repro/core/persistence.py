@@ -28,18 +28,22 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cache import ARM_FAMILY, MIP_FAMILY, CachedLattice, RuleCache
 from repro.core.costs import CostWeights
 from repro.core.mipindex import MIPIndex, build_mip_index
-from repro.dataset.schema import Attribute, Schema
+from repro.core.query import LocalizedQuery
+from repro.dataset.schema import Attribute, Item, Schema
 from repro.dataset.table import RelationalTable
 from repro.errors import DataError, IndexError_
+from repro.itemsets.rules import Rule
 from repro.rtree.flat import FlatRTree
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "save_cache", "load_cache"]
 
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
 _FLAT_PREFIX = "flat_"
+_CACHE_FORMAT_VERSION = 1
 
 
 def save_index(
@@ -271,6 +275,243 @@ def _attach_flat(
         )
     except IndexError_ as exc:
         raise DataError(f"{path}: corrupt flat R-tree arrays: {exc}") from exc
+
+
+def save_cache(
+    cache: RuleCache, path: str | Path, compress: bool = True
+) -> None:
+    """Write a materialized rule cache to a sidecar ``.npz`` at ``path``.
+
+    Conventionally stored next to the index file (``*.cache.npz``) so a
+    restarted worker loads both and starts warm.  Entries are stored in
+    LRU -> MRU order with their hit counts, so the reloaded cache has the
+    same eviction order and landmark set.  ``compress=False`` stores the
+    members raw, which makes the lattice count matrices (the bulk of a
+    warm cache) eligible for zero-copy ``load_cache(..., mmap_mode="r")``
+    — the same tradeoff as :func:`save_index`.
+    """
+    path = Path(path)
+    index = cache.index
+    entries_meta: list[dict] = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, (key, entry) in enumerate(cache._entries.items()):
+        focal, aitem = key[1], key[2]
+        record: dict = {
+            "kind": entry.kind,
+            "selections": [[ai, list(vs)] for ai, vs in focal],
+            "aitem": list(aitem) if aitem is not None else None,
+            "minsupp": key[4],
+            "hits": entry.hits,
+        }
+        if entry.kind == "rules":
+            record["minconf"] = key[5]
+            record["family"] = key[6]
+            rules: list[Rule] = entry.payload
+            items: list[tuple[int, int]] = []
+            splits = np.zeros((len(rules), 2), dtype=np.int64)
+            counts = np.zeros(len(rules), dtype=np.int64)
+            fracs = np.zeros((len(rules), 2), dtype=np.float64)
+            for j, rule in enumerate(rules):
+                items.extend((it.attribute, it.value) for it in rule.antecedent)
+                items.extend((it.attribute, it.value) for it in rule.consequent)
+                splits[j] = (len(rule.antecedent), len(rule.consequent))
+                counts[j] = rule.support_count
+                fracs[j] = (rule.support, rule.confidence)
+            arrays[f"e{i}_items"] = np.asarray(
+                items, dtype=np.int32
+            ).reshape(-1, 2)
+            arrays[f"e{i}_splits"] = splits
+            arrays[f"e{i}_counts"] = counts
+            arrays[f"e{i}_fracs"] = fracs
+        else:
+            lattice: CachedLattice = entry.payload
+            record["dq_size"] = lattice.dq_size
+            record["extract_min_count"] = lattice.extract_min_count
+            record["n_groups"] = len(lattice.groups)
+            for j, (itemsets, group_counts) in enumerate(lattice.groups):
+                arrays[f"e{i}_g{j}_items"] = np.asarray(
+                    [
+                        [(it.attribute, it.value) for it in itemset]
+                        for itemset in itemsets
+                    ],
+                    dtype=np.int32,
+                )
+                arrays[f"e{i}_g{j}_counts"] = group_counts
+        entries_meta.append(record)
+    meta = {
+        "cache_format_version": _CACHE_FORMAT_VERSION,
+        "generation": cache.generation(),
+        "expand": cache.expand,
+        "budget_bytes": cache.budget_bytes,
+        "landmark_hits": cache.landmark_hits,
+        "cardinalities": [int(c) for c in index.cardinalities],
+        "entries": entries_meta,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    savez = np.savez_compressed if compress else np.savez
+    savez(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        **arrays,
+    )
+
+
+def load_cache(
+    path: str | Path,
+    index: MIPIndex,
+    mmap_mode: str | None = None,
+) -> RuleCache:
+    """Load a cache saved by :func:`save_cache` and bind it to ``index``.
+
+    Strict invalidation survives the restart: the file records the
+    generation (R-tree mutation counter) its entries were computed at,
+    and loading refuses any file whose generation — or schema shape —
+    disagrees with the live index.  A warm-loaded cache can therefore
+    never serve rules mined against a different tree.
+
+    ``mmap_mode="r"``/``"c"`` maps the lattice count matrices straight
+    out of the archive (members must be stored uncompressed, i.e.
+    :func:`save_cache` with ``compress=False``; compressed members fall
+    back to the eager copy) — pairing with ``load_index(mmap_mode=...)``
+    gives a warm restart whose big arrays all page in on demand.
+    """
+    path = Path(path)
+    if mmap_mode not in (None, "r", "c"):
+        raise DataError(
+            f"mmap_mode must be None, 'r' or 'c', got {mmap_mode!r}"
+        )
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise DataError(f"cannot read cache file {path}: {exc}") from exc
+    try:
+        meta = json.loads(bytes(archive["meta"]).decode())
+    except KeyError as exc:
+        raise DataError(f"{path}: missing field {exc} — not a COLARM cache")
+    if meta.get("cache_format_version") != _CACHE_FORMAT_VERSION:
+        raise DataError(
+            f"{path}: unsupported cache format version "
+            f"{meta.get('cache_format_version')}"
+        )
+    cards = [int(c) for c in index.cardinalities]
+    if meta["cardinalities"] != cards:
+        raise DataError(
+            f"{path}: cache schema {meta['cardinalities']} does not match "
+            f"the index schema {cards}"
+        )
+    generation = int(meta["generation"])
+    if generation != index.rtree.tree.mutations:
+        raise DataError(
+            f"{path}: cache generation {generation} does not match the "
+            f"index generation {index.rtree.tree.mutations} — the index "
+            "mutated since the cache was saved; mine fresh instead"
+        )
+    cache = RuleCache(
+        index,
+        budget_bytes=int(meta["budget_bytes"]),
+        landmark_hits=int(meta["landmark_hits"]),
+        expand=bool(meta["expand"]),
+    )
+
+    def member(name: str) -> np.ndarray:
+        if name not in archive.files:
+            raise DataError(f"{path}: missing cache member {name}")
+        return archive[name]
+
+    zf = zipfile.ZipFile(path) if mmap_mode is not None else None
+    try:
+        for i, record in enumerate(meta["entries"]):
+            selections = {}
+            for ai, vs in record["selections"]:
+                ai = int(ai)
+                if not 0 <= ai < len(cards) or any(
+                    not 0 <= int(v) < cards[ai] for v in vs
+                ):
+                    raise DataError(
+                        f"{path}: entry {i} selects outside the schema"
+                    )
+                selections[ai] = frozenset(int(v) for v in vs)
+            query = LocalizedQuery(
+                range_selections=selections,
+                minsupp=float(record["minsupp"]),
+                minconf=float(record.get("minconf", 0.5)),
+                item_attributes=(
+                    frozenset(int(a) for a in record["aitem"])
+                    if record["aitem"] is not None
+                    else None
+                ),
+            )
+            if record["kind"] == "rules":
+                family = record["family"]
+                if family not in (MIP_FAMILY, ARM_FAMILY):
+                    raise DataError(
+                        f"{path}: entry {i} has unknown family {family!r}"
+                    )
+                items = member(f"e{i}_items")
+                splits = member(f"e{i}_splits")
+                counts = member(f"e{i}_counts")
+                fracs = member(f"e{i}_fracs")
+                rules = []
+                pos = 0
+                for j in range(len(splits)):
+                    n_ant, n_con = int(splits[j, 0]), int(splits[j, 1])
+                    ant = tuple(
+                        Item(int(a), int(v))
+                        for a, v in items[pos:pos + n_ant]
+                    )
+                    con = tuple(
+                        Item(int(a), int(v))
+                        for a, v in items[pos + n_ant:pos + n_ant + n_con]
+                    )
+                    pos += n_ant + n_con
+                    rules.append(
+                        Rule(
+                            antecedent=ant,
+                            consequent=con,
+                            support_count=int(counts[j]),
+                            support=float(fracs[j, 0]),
+                            confidence=float(fracs[j, 1]),
+                        )
+                    )
+                cache.put_rules(query, rules, family=family)
+                key = cache._rules_key(query, family)
+            else:
+                groups = []
+                for j in range(int(record["n_groups"])):
+                    g_items = member(f"e{i}_g{j}_items")
+                    counts_name = f"e{i}_g{j}_counts"
+                    g_counts = None
+                    if zf is not None:
+                        g_counts = _mmap_npz_member(
+                            path, zf, counts_name + ".npy", mmap_mode
+                        )
+                    if g_counts is None:
+                        g_counts = member(counts_name)
+                    itemsets = tuple(
+                        tuple(Item(int(a), int(v)) for a, v in row)
+                        for row in g_items
+                    )
+                    groups.append((itemsets, g_counts))
+                lattice = CachedLattice(
+                    groups=tuple(groups),
+                    dq_size=int(record["dq_size"]),
+                    extract_min_count=(
+                        int(record["extract_min_count"])
+                        if record["extract_min_count"] is not None
+                        else None
+                    ),
+                )
+                cache.put_lattice(query, lattice)
+                key = cache._lattice_key(query)
+            entry = cache._entries.get(key)
+            if entry is not None:
+                # Restore the landmark state; insertion order already
+                # restored the LRU order (entries were saved LRU -> MRU).
+                entry.hits = int(record["hits"])
+    finally:
+        if zf is not None:
+            zf.close()
+    return cache
 
 
 def _verify_itemsets(

@@ -67,6 +67,10 @@ class PlanResult:
     trace: ExecutionTrace
     elapsed: float
     dq_size: int
+    #: Subset-lattice count groups from VERIFY-family rule generation
+    #: (``None`` for the ARM plan or when the wide fallback fired) —
+    #: the cache-worthy intermediate picked up by ``engine.query``.
+    lattice_groups: list | None = None
 
     @property
     def n_rules(self) -> int:
@@ -93,7 +97,12 @@ def execute_plan(
     rules = _PLAN_BODIES[kind](ctx)
     elapsed = time.perf_counter() - start
     return PlanResult(
-        kind=kind, rules=rules, trace=ctx.trace, elapsed=elapsed, dq_size=ctx.dq_size
+        kind=kind,
+        rules=rules,
+        trace=ctx.trace,
+        elapsed=elapsed,
+        dq_size=ctx.dq_size,
+        lattice_groups=ctx.lattice_groups,
     )
 
 

@@ -1,0 +1,366 @@
+"""The materialized rule cache: unit policy, engine integration, persistence.
+
+Three layers of coverage:
+
+* :class:`repro.cache.RuleCache` in isolation — keys, tiers, LRU +
+  landmark eviction, generation invalidation, the stats ledger;
+* the engine path — ``enable_cache``/``query`` serving repeats byte-
+  identically, lattice hits replaying at a new ``minconf``, forced plans,
+  the ``use_cache`` bypass, and composition with sharded execution
+  (a broken pool must degrade to serial *and still populate the cache*);
+* ``save_cache``/``load_cache`` round-trips, including ``mmap_mode`` and
+  the strict generation check on load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import ARM_FAMILY, MIP_FAMILY, CachedLattice, RuleCache
+from repro.core.costs import CostWeights
+from repro.core.engine import Colarm
+from repro.core.mipindex import build_mip_index
+from repro.core.persistence import load_cache, save_cache
+from repro.core.plans import PlanKind, execute_plan
+from repro.core.query import LocalizedQuery
+from repro.errors import DataError
+from tests.conftest import make_random_table
+
+MIP_PLANS = (PlanKind.SEV, PlanKind.SVS, PlanKind.SSEV, PlanKind.SSVS,
+             PlanKind.SSEUV)
+
+
+@pytest.fixture(scope="module")
+def index():
+    table = make_random_table(seed=71, n_records=120,
+                              cardinalities=(4, 3, 3, 2, 3))
+    return build_mip_index(table, primary_support=0.05)
+
+
+@pytest.fixture()
+def engine(index):
+    return Colarm.from_index(index)
+
+
+def q(selections, minsupp=0.3, minconf=0.6, aitem=None):
+    return LocalizedQuery(
+        {ai: frozenset(vs) for ai, vs in selections.items()},
+        minsupp, minconf, item_attributes=aitem,
+    )
+
+
+# -- unit: keys, tiers, policy ------------------------------------------------
+
+
+def test_put_get_rules_roundtrip(index):
+    cache = RuleCache(index)
+    query = q({0: {1}})
+    rules = execute_plan(PlanKind.SSVS, index, query).rules
+    assert cache.put_rules(query, rules)
+    served = cache.get_rules(query)
+    assert served == rules
+    assert served is not rules  # shallow copy, not the stored list
+    # Family separation: the ARM tier is distinct.
+    assert cache.get_rules(query, ARM_FAMILY) is None
+
+
+def test_probe_preference_and_no_lru_bump(index):
+    cache = RuleCache(index)
+    query = q({0: {1}})
+    result = execute_plan(PlanKind.SSVS, index, query)
+    lattice = CachedLattice(
+        groups=tuple((tuple(g), c) for g, c in result.lattice_groups),
+        dq_size=result.dq_size,
+        extract_min_count=None,
+    )
+    assert cache.put_lattice(query, lattice)
+    probe = cache.probe(query)
+    assert probe.kind == "lattice" and probe.lattice_cells > 0
+    cache.put_rules(query, result.rules)
+    probe = cache.probe(query)
+    assert probe.kind == "rules" and probe.family == MIP_FAMILY
+    assert probe.n_rules == len(result.rules)
+    # Probes never count as serves.
+    assert cache.stats.rule_hits == 0 and cache.stats.lattice_hits == 0
+    assert cache.probe(q({0: {2}})).kind is None
+    assert cache.stats.misses == 1
+
+
+def test_focal_key_drops_full_domain_selections(index):
+    cache = RuleCache(index)
+    cards = index.cardinalities
+    spelled = q({0: {1}, 1: set(range(cards[1]))})
+    implicit = q({0: {1}})
+    assert cache.focal_key(spelled) == cache.focal_key(implicit)
+    rules = execute_plan(PlanKind.SSVS, index, implicit).rules
+    cache.put_rules(spelled, rules)
+    assert cache.get_rules(implicit) == rules
+
+
+def test_lru_eviction_with_landmark_protection(index):
+    queries = [q({0: {1}}, minconf=0.5 + i / 100) for i in range(4)]
+    rules = execute_plan(PlanKind.SSVS, index, queries[0]).rules
+    cache = RuleCache(index, budget_bytes=1 << 30, landmark_hits=2)
+    cache.put_rules(queries[0], rules)
+    per_entry = cache.stats.current_bytes
+    # Room for exactly two entries; entry 0 is made a landmark.
+    cache = RuleCache(index, budget_bytes=2 * per_entry, landmark_hits=2)
+    cache.put_rules(queries[0], rules)
+    for _ in range(2):
+        assert cache.get_rules(queries[0]) is not None
+    cache.put_rules(queries[1], rules)
+    cache.put_rules(queries[2], rules)  # evicts 1 (cold LRU), never 0
+    assert cache.get_rules(queries[1]) is None
+    assert cache.get_rules(queries[0]) is not None
+    assert cache.stats.evictions == 1
+    assert cache.stats.current_bytes <= cache.budget_bytes
+    # With only landmarks left, LRU order applies to them after all.
+    for _ in range(2):
+        cache.get_rules(queries[2])
+    cache.put_rules(queries[3], rules)
+    assert len(cache) == 2
+    assert cache.stats.current_bytes <= cache.budget_bytes
+
+
+def test_oversized_entry_rejected(index):
+    query = q({0: {1}})
+    rules = execute_plan(PlanKind.SSVS, index, query).rules
+    cache = RuleCache(index, budget_bytes=64)
+    assert not cache.put_rules(query, rules)
+    assert cache.stats.rejected == 1 and len(cache) == 0
+
+
+def test_generation_invalidation(index):
+    cache = RuleCache(index)
+    query = q({0: {1}})
+    rules = execute_plan(PlanKind.SSVS, index, query).rules
+    cache.put_rules(query, rules)
+    index.rtree.tree.mutations += 1
+    try:
+        assert cache.probe(query).kind is None
+        assert cache.stats.stale_drops == 1
+        assert cache.stats.current_bytes == 0
+        # A stale pre-mutation snapshot is refused at insert time too.
+        assert not cache.put_rules(
+            query, rules, generation=index.rtree.tree.mutations - 1
+        )
+        assert cache.stats.stale_drops == 2
+        # A current-generation insert works again.
+        assert cache.put_rules(
+            query, rules, generation=index.rtree.tree.mutations
+        )
+        assert cache.get_rules(query) == rules
+    finally:
+        index.rtree.tree.mutations -= 1
+
+
+def test_invalidate_clears_everything(index):
+    cache = RuleCache(index)
+    query = q({0: {1}})
+    rules = execute_plan(PlanKind.SSVS, index, query).rules
+    cache.put_rules(query, rules)
+    cache.put_rules(query, rules, family=ARM_FAMILY)
+    assert cache.invalidate() == 2
+    assert len(cache) == 0 and cache.stats.current_bytes == 0
+    stats = cache.stats.as_dict()
+    assert stats["insertions"] == 2 and stats["stale_drops"] == 2
+
+
+def test_constructor_validation(index):
+    with pytest.raises(ValueError):
+        RuleCache(index, budget_bytes=0)
+    with pytest.raises(ValueError):
+        RuleCache(index, landmark_hits=0)
+    cache = RuleCache(index)
+    with pytest.raises(ValueError):
+        cache.put_rules(q({0: {1}}), [], family="nope")
+
+
+# -- engine integration -------------------------------------------------------
+
+
+def test_repeat_query_served_from_cache(engine):
+    engine.enable_cache(calibrate=False)
+    query = q({0: {1, 2}})
+    first = engine.query(query)
+    assert not first.cached
+    second = engine.query(query)
+    assert second.cached
+    assert second.rules == first.rules
+    assert second.chosen_by == "optimizer" and second.choice.cached
+    ledger = engine.optimizer.cache_ledger
+    assert ledger["cached_picks"] >= 1 and ledger["rule_hits"] >= 1
+
+
+def test_lattice_hit_replays_at_new_minconf(engine):
+    engine.enable_cache(calibrate=False)
+    # Uncalibrated default weights underprice the fresh ARM plan on this
+    # tiny index; pricing accuracy is the benches' concern — here ARM is
+    # made expensive so the choice exercises the lattice-serve path.
+    weights = dict(engine.optimizer.weights.weights)
+    weights["arm"] = 1.0
+    engine.optimizer.set_weights(CostWeights(weights))
+    base = q({1: {0, 1}}, minsupp=0.3, minconf=0.6)
+    engine.query(base, plan=PlanKind.SSVS)  # populates rules + lattice
+    assert engine.cache.entries_by_kind()["lattice"] == 1
+    shifted = q({1: {0, 1}}, minsupp=0.3, minconf=0.8)
+    outcome = engine.query(shifted)
+    assert outcome.cached
+    assert outcome.choice.cache_probe.kind == "lattice"
+    fresh = execute_plan(PlanKind.SSVS, engine.index, shifted)
+    assert outcome.rules == fresh.rules
+    # The extraction upgraded to a full rules hit for the next repeat.
+    assert engine.cache.probe(shifted).kind == "rules"
+
+
+def test_forced_plan_uses_own_family(engine):
+    engine.enable_cache(calibrate=False)
+    query = q({0: {1, 2}}, minconf=0.7)
+    mip = engine.query(query, plan=PlanKind.SSEUV)
+    arm = engine.query(query, plan=PlanKind.ARM)
+    assert not mip.cached and not arm.cached
+    mip2 = engine.query(query, plan=PlanKind.SVS)  # any MIP plan shares
+    arm2 = engine.query(query, plan=PlanKind.ARM)
+    assert mip2.cached and mip2.rules == mip.rules
+    assert arm2.cached and arm2.rules == arm.rules
+
+
+def test_use_cache_false_bypasses_consult_and_populate(engine):
+    engine.enable_cache(calibrate=False)
+    query = q({0: {1, 2}})
+    engine.query(query, use_cache=False)
+    assert len(engine.cache) == 0
+    engine.query(query)
+    repeat = engine.query(query, use_cache=False)
+    assert not repeat.cached
+
+
+def test_disable_cache_detaches(engine):
+    engine.enable_cache(calibrate=False)
+    query = q({0: {1, 2}})
+    engine.query(query)
+    engine.disable_cache()
+    assert engine.cache is None
+    assert not engine.query(query).cached
+
+
+def test_enable_cache_rejects_expand_mismatch(engine, index):
+    foreign = RuleCache(index, expand=True)
+    with pytest.raises(ValueError, match="expand"):
+        engine.enable_cache(cache=foreign)
+
+
+def test_broken_pool_still_populates_cache(index):
+    """Satellite regression: sharded fallback must not bypass the cache.
+
+    With a SIGKILL-broken pool every sharded kernel call declines and the
+    operators fall back to serial — the fresh execution must still
+    populate the cache with the (correct, serial) rules, and the repeat
+    must serve them; a broken pool must never poison cached entries.
+    """
+    from repro.parallel import ParallelConfig
+
+    reference = {}
+    query = q({0: {1, 2}})
+    for kind in (PlanKind.SSVS, PlanKind.ARM):
+        reference[kind] = execute_plan(kind, index, query).rules
+
+    engine = Colarm.from_index(index)
+    engine.configure(parallel=ParallelConfig(n_shards=2, force=True))
+    try:
+        engine.enable_cache(calibrate=False)
+        engine.parallel.executor._broken = True
+        first = engine.query(query)
+        assert not first.cached
+        assert first.rules == reference[
+            PlanKind.ARM if first.plan is PlanKind.ARM else PlanKind.SSVS
+        ]
+        assert len(engine.cache) >= 1
+        second = engine.query(query)
+        assert second.cached and second.rules == first.rules
+        forced = engine.query(query, plan=PlanKind.SSVS)
+        assert forced.rules == reference[PlanKind.SSVS]
+    finally:
+        engine.close()
+
+
+# -- persistence --------------------------------------------------------------
+
+
+def populated_cache(index):
+    engine = Colarm.from_index(index).enable_cache(calibrate=False)
+    queries = [
+        q({0: {1}}, minconf=0.6),
+        q({0: {1}}, minconf=0.8),
+        q({1: {0, 1}}, minsupp=0.35, aitem=frozenset({0, 2, 3})),
+    ]
+    for query in queries:
+        engine.query(query, plan=PlanKind.SSVS)
+        engine.query(query, plan=PlanKind.ARM)
+    # Make one entry a landmark so hit counts are non-trivial.
+    for _ in range(4):
+        engine.query(queries[0], plan=PlanKind.SSVS)
+    return engine.cache, queries
+
+
+def test_save_load_roundtrip(index, tmp_path):
+    cache, queries = populated_cache(index)
+    path = tmp_path / "warm.cache.npz"
+    save_cache(cache, path)
+    loaded = load_cache(path, index)
+    assert len(loaded) == len(cache)
+    assert loaded.entries_by_kind() == cache.entries_by_kind()
+    assert loaded.budget_bytes == cache.budget_bytes
+    assert loaded.landmark_hits == cache.landmark_hits
+    for query in queries:
+        for family in (MIP_FAMILY, ARM_FAMILY):
+            assert loaded.get_rules(query, family) == \
+                cache.get_rules(query, family), (query, family)
+        a, b = loaded.get_lattice(query), cache.get_lattice(query)
+        assert a.extract(query.minconf) == b.extract(query.minconf)
+    # Hit counts (landmark status) and LRU order survive the round-trip.
+    assert [e.hits for e in loaded._entries.values()] == \
+        [e.hits for e in cache._entries.values()]
+    assert list(loaded._entries) == list(cache._entries)
+
+
+def test_save_load_mmap_lattice(index, tmp_path):
+    cache, queries = populated_cache(index)
+    path = tmp_path / "warm.cache.npz"
+    save_cache(cache, path, compress=False)
+    loaded = load_cache(path, index, mmap_mode="r")
+
+    def is_mapped(arr):
+        while arr is not None:
+            if isinstance(arr, np.memmap):
+                return True
+            arr = getattr(arr, "base", None)
+        return False
+
+    lattice = loaded.get_lattice(queries[0])
+    assert any(is_mapped(counts) for _, counts in lattice.groups)
+    assert lattice.extract(queries[0].minconf) == \
+        cache.get_lattice(queries[0]).extract(queries[0].minconf)
+
+
+def test_load_refuses_generation_mismatch(index, tmp_path):
+    cache, _ = populated_cache(index)
+    path = tmp_path / "warm.cache.npz"
+    save_cache(cache, path)
+    index.rtree.tree.mutations += 1
+    try:
+        with pytest.raises(DataError, match="generation"):
+            load_cache(path, index)
+    finally:
+        index.rtree.tree.mutations -= 1
+    assert len(load_cache(path, index)) == len(cache)
+
+
+def test_load_adopts_into_engine(index, tmp_path):
+    cache, queries = populated_cache(index)
+    path = tmp_path / "warm.cache.npz"
+    save_cache(cache, path)
+    engine = Colarm.from_index(index)
+    engine.enable_cache(cache=load_cache(path, index), calibrate=False)
+    outcome = engine.query(queries[0], plan=PlanKind.SSVS)
+    assert outcome.cached
+    assert outcome.rules == cache.get_rules(queries[0])

@@ -50,6 +50,49 @@ def test_batch_shares_focal_groups(index):
     assert report.items[0].shared_group != report.items[2].shared_group
 
 
+def test_batch_groups_canonical_focal_subsets(index):
+    """A full-domain selection spells the same focal subset implicitly:
+    queries differing only in thresholds (and spelling) share one group."""
+    cards = index.cardinalities
+    queries = [
+        LocalizedQuery({0: frozenset({1})}, 0.3, 0.6),
+        LocalizedQuery(
+            {0: frozenset({1}), 1: frozenset(range(cards[1]))}, 0.4, 0.8
+        ),
+    ]
+    report = execute_batch(index, queries)
+    assert report.n_groups == 1
+    assert report.n_searches == 1
+    assert report.items[0].shared_group == report.items[1].shared_group
+    for item, query in zip(report.items, queries):
+        solo = execute_plan(PlanKind.SEV, index, query)
+        assert rule_key(item.rules) == rule_key(solo.rules), query
+
+
+def test_batch_shares_lattice_counts_across_thresholds(index):
+    """Same focal subset probed at several minconfs: later queries replay
+    the memoized subset-lattice rows instead of recounting."""
+    queries = [
+        LocalizedQuery({0: frozenset({1})}, 0.3, 0.6),
+        LocalizedQuery({0: frozenset({1})}, 0.3, 0.75),
+        LocalizedQuery({0: frozenset({1})}, 0.3, 0.9),
+    ]
+    report = execute_batch(index, queries)
+    assert report.lattice_hits > 0
+    for item, query in zip(report.items, queries):
+        solo = execute_plan(PlanKind.SEV, index, query)
+        assert rule_key(item.rules) == rule_key(solo.rules), query
+
+
+def test_batch_lattice_hits_zero_for_distinct_subsets(index):
+    queries = [
+        LocalizedQuery({0: frozenset({1})}, 0.3, 0.6),
+        LocalizedQuery({0: frozenset({2})}, 0.3, 0.6),
+    ]
+    report = execute_batch(index, queries)
+    assert report.lattice_hits == 0
+
+
 def test_batch_expand_mode(index):
     queries = [LocalizedQuery({0: frozenset({1})}, 0.35, 0.7)]
     report = execute_batch(index, queries, expand=True)

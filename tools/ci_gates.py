@@ -176,6 +176,73 @@ def run_parallel_selftest(config: dict) -> dict:
     }
 
 
+def run_cache_selftest(config: dict) -> dict:
+    """Pricing sanity for the materialized-cache cost terms.
+
+    A live cache is warmed by executing every probe query once (each
+    execution populates the rules and lattice tiers); the repeat pass is
+    then priced twice:
+
+    * ``cache_probe = inf`` — every CACHE variant prices to infinity, so
+      the optimizer must pick one **zero** times even with a fully warm
+      cache.  A regression that drops the probe term (making "free"
+      cache hits look costless to even consider) fails here.
+    * ``cache_probe = cache_load = 0`` — a zero-cost warm hit strictly
+      undercuts every fresh variant, so **every** repeated query must be
+      served from the cache.  A regression that misprices CACHE variants
+      above fresh execution unconditionally fails here.
+    """
+    from repro.core.calibration import default_probe_queries
+    from repro.core.costs import CostWeights
+    from repro.core.engine import Colarm
+    from repro.workloads.experiments import EXPERIMENTS
+
+    spec = EXPERIMENTS[config["dataset"]]
+    t0 = time.perf_counter()
+    # Default weights suffice: both assertions are structural (inf / 0).
+    engine = Colarm(spec.make_table(), primary_support=spec.primary_support)
+    build_s = time.perf_counter() - t0
+    engine.enable_cache(calibrate=False)
+    queries = default_probe_queries(
+        engine.index,
+        n_queries=int(config["n_queries"]),
+        seed=int(config["seed"]),
+    )
+    for q in queries:  # warm pass: populate rules + lattice tiers
+        engine.query(q)
+    base = dict(engine.optimizer.weights.weights)
+
+    def picks_with(probe_w: float, load_w: float) -> tuple[int, int]:
+        weights = dict(base)
+        weights["cache_probe"] = probe_w
+        weights["cache_load"] = load_w
+        engine.optimizer.set_weights(CostWeights(weights))
+        choices = [engine.optimizer.choose(q) for q in queries]
+        priced = sum(1 for c in choices if c.cached_estimates)
+        return sum(1 for c in choices if c.cached), priced
+
+    inf_picks, inf_priced = picks_with(float("inf"), base["cache_load"])
+    free_picks, _ = picks_with(0.0, 0.0)
+    failures = []
+    if inf_priced == 0:
+        failures.append("no_cache_estimates")
+    if inf_picks != 0:
+        failures.append("cache_chosen_at_infinite_probe")
+    if free_picks != len(queries):
+        failures.append("cache_not_chosen_for_all_warm_repeats")
+    return {
+        "dataset": config["dataset"],
+        "scenarios": len(queries),
+        "build_s": round(build_s, 2),
+        "cache_entries": len(engine.cache),
+        "cache_stats": engine.cache.stats.as_dict(),
+        "cache_picks_at_inf_probe": inf_picks,
+        "cache_picks_at_zero_cost": free_picks,
+        "passed": not failures,
+        "failures": failures,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--config", type=Path, default=REPO_ROOT / "ci_gates.json")
@@ -205,11 +272,16 @@ def main(argv: list[str] | None = None) -> int:
         if "parallel" in config
         else None
     )
+    cache_report = (
+        run_cache_selftest(config["cache"]) if "cache" in config else None
+    )
 
     args.report.parent.mkdir(parents=True, exist_ok=True)
     full_report = dict(report)
     if parallel_report is not None:
         full_report["parallel_selftest"] = parallel_report
+    if cache_report is not None:
+        full_report["cache_selftest"] = cache_report
     args.report.write_text(json.dumps(full_report, indent=2) + "\n")
 
     print(
@@ -238,12 +310,24 @@ def main(argv: list[str] | None = None) -> int:
             f" (want 0), zero-overhead picks="
             f"{parallel_report['parallel_picks_at_zero_overhead']} (want >0)"
         )
+    if cache_report is not None:
+        passed = passed and cache_report["passed"]
+        status = "ok  " if cache_report["passed"] else "FAIL"
+        print(
+            f"  {status} cache-selftest     "
+            f"inf-probe picks={cache_report['cache_picks_at_inf_probe']}"
+            f" (want 0), zero-cost picks="
+            f"{cache_report['cache_picks_at_zero_cost']}"
+            f" (want {cache_report['scenarios']})"
+        )
     if passed:
         print("acc-gate: PASS")
         return 0
     failures = list(report["failures"])
     if parallel_report is not None:
         failures += parallel_report["failures"]
+    if cache_report is not None:
+        failures += cache_report["failures"]
     print(f"acc-gate: FAIL ({', '.join(failures)})")
     return 1
 

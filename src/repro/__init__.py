@@ -27,6 +27,7 @@ from repro.dataset.salary import salary_dataset
 from repro.dataset.schema import Attribute, Item, Schema
 from repro.dataset.table import RelationalTable
 from repro.itemsets.rules import Rule
+from repro.serving import QueryService, ServedQuery, ServingConfig
 
 __version__ = "1.0.0"
 
@@ -36,6 +37,9 @@ __all__ = [
     "PlanKind",
     "LocalizedQuery",
     "Rule",
+    "QueryService",
+    "ServedQuery",
+    "ServingConfig",
     "Attribute",
     "Item",
     "Schema",

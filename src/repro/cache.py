@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.query import canonical_focal_key
 from repro.itemsets.itemset import Itemset
 from repro.itemsets.rules import Rule, rules_from_subset_lattices
 
@@ -211,7 +212,7 @@ class RuleCache:
 
     def generation(self) -> int:
         """The index's current mutation counter — the invalidation token."""
-        return self.index.rtree.tree.mutations
+        return self.index.generation
 
     def focal_key(self, query: "LocalizedQuery") -> tuple:
         """Canonical focal-subset key: full-domain selections dropped.
@@ -219,14 +220,11 @@ class RuleCache:
         Two queries selecting the same records — one naming an attribute's
         entire domain explicitly, one omitting it — share every cache
         entry (and :mod:`repro.core.multiquery` counts them as one focal
-        subset).
+        subset, :mod:`repro.serving` coalesces them onto one execution).
         """
-        cards = self.index.cardinalities
-        return tuple(sorted(
-            (ai, tuple(sorted(vs)))
-            for ai, vs in query.range_selections.items()
-            if len(vs) < cards[ai]
-        ))
+        return canonical_focal_key(
+            query.range_selections, self.index.cardinalities
+        )
 
     def _aitem_key(self, query: "LocalizedQuery") -> tuple | None:
         if query.item_attributes is None:

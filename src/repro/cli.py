@@ -97,6 +97,43 @@ def build_parser() -> argparse.ArgumentParser:
                       help="lift, cosine, kulczynski, jaccard, ... "
                            "(default kulczynski)")
     rank.add_argument("--top-k", type=int, default=10)
+
+    def add_serving_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=2,
+                       help="execution worker threads (default 2)")
+        p.add_argument("--max-pending", type=int, default=64,
+                       help="scheduler queue bound (default 64)")
+        p.add_argument("--cost-ceiling", type=float, default=float("inf"),
+                       help="admission ceiling in estimated seconds "
+                            "(default: unlimited)")
+        p.add_argument("--over-budget", choices=("shed", "defer"),
+                       default="shed",
+                       help="what happens above the ceiling (default shed)")
+        p.add_argument("--aging", type=float, default=1.0,
+                       help="priority credit per second waited; "
+                            "inf = FIFO, 0 = pure cost order (default 1.0)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="serve without the materialized rule cache")
+
+    serve = sub.add_parser(
+        "serve",
+        help="line-oriented query service: one query per stdin line, "
+             "one JSON response per stdout line",
+    )
+    serve.add_argument("index")
+    add_serving_args(serve)
+
+    replay = sub.add_parser(
+        "replay",
+        help="run a workload file (one query per line) through the "
+             "service concurrently and report latency/throughput",
+    )
+    replay.add_argument("index")
+    replay.add_argument("workload", help="file of queries, one per line "
+                                         "('-' for stdin)")
+    replay.add_argument("--limit", type=int, default=5,
+                        help="max rules to print per response (default 5)")
+    add_serving_args(replay)
     return parser
 
 
@@ -250,6 +287,138 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_config(args: argparse.Namespace):
+    from repro.serving import ServingConfig
+
+    return ServingConfig(
+        max_pending=args.max_pending,
+        workers=args.workers,
+        cost_ceiling=args.cost_ceiling,
+        over_budget=args.over_budget,
+        aging=args.aging,
+    )
+
+
+def _serving_engine(args: argparse.Namespace) -> Colarm:
+    engine = _load_engine(args.index)
+    if not args.no_cache:
+        engine.enable_cache()
+    return engine
+
+
+def _response_json(served, engine: Colarm, limit: int | None = None) -> str:
+    import json
+
+    rules = served.rules if limit is None else served.rules[:limit]
+    return json.dumps({
+        "ok": True,
+        "plan": served.plan.value,
+        "n_rules": len(served.rules),
+        "rules": [rule.render(engine.schema) for rule in rules],
+        "trace": served.trace.as_dict(),
+    })
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Line-oriented service loop: stdin queries -> stdout JSON responses.
+
+    Requests are read and submitted as they arrive and answered in
+    completion order (each response carries its request line number), so
+    coalescing and cost-priority scheduling are observable from a shell
+    pipe.  EOF drains in-flight requests and prints the stats snapshot
+    to stderr.
+    """
+    import asyncio
+    import json
+
+    from repro.errors import ServiceError
+    from repro.serving import QueryService
+
+    engine = _serving_engine(args)
+
+    async def run() -> int:
+        loop = asyncio.get_running_loop()
+        service = QueryService(engine, _serving_config(args))
+        pending: set[asyncio.Task] = set()
+
+        async def one(line_no: int, text: str) -> None:
+            try:
+                served = await service.submit(text)
+                payload = json.loads(_response_json(served, engine))
+                payload["line"] = line_no
+                print(json.dumps(payload), flush=True)
+            except ServiceError as exc:
+                print(json.dumps({
+                    "ok": False, "line": line_no,
+                    "error": type(exc).__name__, "message": str(exc),
+                }), flush=True)
+
+        async with service:
+            line_no = 0
+            while True:
+                line = await loop.run_in_executor(None, sys.stdin.readline)
+                if not line:
+                    break
+                text = line.strip()
+                if not text or text.startswith("#"):
+                    continue
+                line_no += 1
+                task = asyncio.ensure_future(one(line_no, text))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending)
+        print(json.dumps(service.snapshot()), file=sys.stderr)
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Submit a whole workload file concurrently; print responses + stats."""
+    import asyncio
+    import json
+
+    from repro.errors import ServiceError
+    from repro.serving import serve_all
+
+    if args.workload == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.workload, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    requests = [
+        line.strip() for line in lines
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not requests:
+        print("colarm: error: empty workload", file=sys.stderr)
+        return 2
+
+    engine = _serving_engine(args)
+    results, snapshot = asyncio.run(
+        serve_all(engine, requests, _serving_config(args))
+    )
+    n_failed = 0
+    for i, res in enumerate(results, start=1):
+        if isinstance(res, ServiceError):
+            n_failed += 1
+            print(f"[{i}] {type(res).__name__}: {res}")
+        else:
+            trace = res.trace
+            print(
+                f"[{i}] plan {res.plan.value} "
+                f"{'cached ' if res.cached else ''}"
+                f"{'coalesced ' if not trace.leader else ''}"
+                f"{res.trace.total_s * 1000:.1f} ms, "
+                f"{len(res.rules)} rules"
+            )
+            for rule in res.rules[: args.limit]:
+                print("      " + rule.render(engine.schema))
+    print(json.dumps(snapshot, indent=2))
+    return 1 if n_failed == len(results) else 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "info": _cmd_info,
@@ -259,6 +428,8 @@ _COMMANDS = {
     "plans": _cmd_plans,
     "explain": _cmd_explain,
     "suggest": _cmd_suggest,
+    "serve": _cmd_serve,
+    "replay": _cmd_replay,
 }
 
 

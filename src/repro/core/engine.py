@@ -241,6 +241,7 @@ class Colarm:
         request: LocalizedQuery | str,
         plan: PlanKind | str | None = None,
         use_cache: bool = True,
+        choice: PlanChoice | None = None,
     ) -> QueryOutcome:
         """Answer one localized mining request.
 
@@ -260,11 +261,25 @@ class Colarm:
         execution populates the cache for the next repeat.  Forced plans
         consult only the exact-key rules tier of their own plan family.
         ``use_cache=False`` bypasses both consulting and populating.
+
+        A caller that already priced the request (the serving layer's
+        admission control) can pass its :class:`PlanChoice` back via
+        ``choice`` to skip the second ``optimizer.choose``.  The choice is
+        reused only while it is still valid — same index generation, and
+        not a CACHE pick when this call does not consult the cache — and
+        silently re-chosen otherwise, so a stale handoff can never force
+        a stale serve.
         """
         q = self.parse(request) if isinstance(request, str) else request
         consult = use_cache and self.cache is not None
         if plan is None:
-            choice = self.optimizer.choose(q, use_cache=consult)
+            if choice is not None and (
+                choice.generation != self.index.generation
+                or (choice.cached and not consult)
+            ):
+                choice = None
+            if choice is None:
+                choice = self.optimizer.choose(q, use_cache=consult)
             kind, chosen_by = choice.kind, "optimizer"
             parallel = self.parallel if choice.parallel else None
             if choice.cached:

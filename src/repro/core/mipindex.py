@@ -65,6 +65,17 @@ class MIPIndex:
         return self.table.schema.cardinalities()
 
     @property
+    def generation(self) -> int:
+        """The index's invalidation token: the R-tree mutation counter.
+
+        Every structural mutation bumps it; the cache, the optimizer's
+        plan choices, and the serving layer's coalescing all stamp their
+        products with it so nothing computed against an older tree is
+        ever served against a newer one.
+        """
+        return self.rtree.tree.mutations
+
+    @property
     def tidset_words(self) -> int:
         """64-bit words per packed tidset row for this index's universe."""
         return kernels.n_words(self.table.n_records)

@@ -48,7 +48,7 @@ from repro.core.operators import (
     _aitem_mask,
     _rules_from_qualified,
 )
-from repro.core.query import LocalizedQuery
+from repro.core.query import LocalizedQuery, canonical_focal_key
 from repro.errors import QueryError
 from repro.itemsets.apriori import min_count_for
 from repro.itemsets.itemset import Itemset
@@ -104,16 +104,13 @@ def execute_batch(
 
     for qi, query in enumerate(queries):
         query.validate_against(index.table.schema)
-        # Canonical focal key: a selection spanning an attribute's whole
-        # domain selects nothing, so it is dropped — otherwise queries
-        # naming the same focal subset differently (e.g. differing only
-        # in thresholds after a full-domain spelling) split into separate
-        # groups and n_groups overcounts distinct subsets.
-        key = tuple(sorted(
-            (ai, tuple(sorted(vs)))
-            for ai, vs in query.range_selections.items()
-            if len(vs) < cards[ai]
-        ))
+        # Canonical focal key (shared with the cache and the serving
+        # layer): a selection spanning an attribute's whole domain selects
+        # nothing, so it is dropped — otherwise queries naming the same
+        # focal subset differently (e.g. differing only in thresholds
+        # after a full-domain spelling) split into separate groups and
+        # n_groups overcounts distinct subsets.
+        key = canonical_focal_key(query.range_selections, cards)
         if key not in groups:
             focal = query.focal_range(index.cardinalities)
             dq = index.table.tids_matching(query.range_selections)

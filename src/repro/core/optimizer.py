@@ -97,6 +97,27 @@ class PlanChoice:
     cached: bool = False
     cached_estimates: dict[PlanKind, float] = field(default_factory=dict)
     cache_probe: object | None = None   # repro.cache.CacheProbe when probed
+    #: Index generation the choice was priced against.  A choice is only
+    #: reusable (``Colarm.query(choice=...)``, the serving layer's
+    #: admission weights) while this matches ``index.generation`` —
+    #: cached-variant prices and the memoized profile are both stale
+    #: after a mutation.
+    generation: int = 0
+
+    @property
+    def chosen_estimate(self) -> float:
+        """The estimated cost of the chosen variant, in seconds.
+
+        This is the scalar the serving layer uses as the admission /
+        priority weight: the cached-variant price when the choice is a
+        cache serve, the sharded price when it is a parallel execution,
+        the serial price otherwise.
+        """
+        if self.cached:
+            return self.cached_estimates[self.kind]
+        if self.parallel:
+            return self.parallel_estimates[self.kind]
+        return self.estimates[self.kind]
 
     def explain(self) -> str:
         """Human-readable ranking of the plan variants."""
@@ -206,7 +227,7 @@ class ColarmOptimizer:
         repeat would dwarf the cache hit itself.  Any index mutation
         changes the generation key, so a stale profile is never reused.
         """
-        memo_key = (query, self.index.rtree.tree.mutations)
+        memo_key = (query, self.index.generation)
         cached = self._profile_memo.get(memo_key)
         if cached is not None:
             self._profile_memo.move_to_end(memo_key)
@@ -309,6 +330,7 @@ class ColarmOptimizer:
             cached=best_cached,
             cached_estimates=cached_estimates,
             cache_probe=cache_probe,
+            generation=self.index.generation,
         )
 
     # -- estimate-vs-actual feedback ----------------------------------------

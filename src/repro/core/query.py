@@ -22,7 +22,34 @@ from repro.dataset.schema import Schema
 from repro.errors import QueryError
 from repro.rtree.geometry import Rect
 
-__all__ = ["Overlap", "FocalRange", "LocalizedQuery"]
+__all__ = [
+    "Overlap",
+    "FocalRange",
+    "LocalizedQuery",
+    "canonical_focal_key",
+]
+
+
+def canonical_focal_key(
+    range_selections: Mapping[int, frozenset[int]],
+    cardinalities: Sequence[int],
+) -> tuple:
+    """Canonical key of the focal subset a selection set names.
+
+    A selection spanning an attribute's whole domain selects nothing, so
+    it is dropped: two queries selecting the same records — one spelling
+    the full domain out, one omitting the attribute — map to the same
+    key.  This is the grouping shared by :mod:`repro.core.multiquery`
+    (work sharing within a batch), :mod:`repro.cache` (entry keys), and
+    :mod:`repro.serving` (in-flight request coalescing); keeping it in
+    one place keeps the three layers agreeing on what "the same focal
+    subset" means.
+    """
+    return tuple(sorted(
+        (ai, tuple(sorted(vs)))
+        for ai, vs in range_selections.items()
+        if len(vs) < cardinalities[ai]
+    ))
 
 
 class Overlap(enum.Enum):

@@ -32,3 +32,15 @@ class IndexError_(ReproError):
 class ParseError(QueryError):
     """The textual ``REPORT LOCALIZED ASSOCIATION RULES`` query could not be
     parsed."""
+
+
+class ServiceError(ReproError):
+    """A request failed inside the concurrent query service."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service shed the request (queue full or over the cost ceiling)."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is stopped (or stopping) and accepts no new requests."""

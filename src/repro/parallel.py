@@ -727,3 +727,10 @@ class ParallelContext:
             "word_s": self.word_s,
             "break_even_words": self.break_even_words,
         }
+
+    def snapshot(self) -> dict:
+        """:meth:`describe` plus pool liveness — what the serving layer's
+        stats endpoint reports so a degraded-to-serial service is visible."""
+        out: dict = dict(self.describe())
+        out["available"] = self.available
+        return out

@@ -1,5 +1,7 @@
 """The COLARM optimizer: choice validity, weight sensitivity, explain."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core.costs import CostWeights
@@ -88,3 +90,34 @@ def test_profile_for_validates(setup):
     optimizer = ColarmOptimizer(index)
     with pytest.raises(QueryError):
         optimizer.profile_for(LocalizedQuery({99: frozenset({0})}, 0.3, 0.5))
+
+
+def test_choice_is_generation_stamped(setup):
+    _, index = setup
+    optimizer = ColarmOptimizer(index)
+    query = LocalizedQuery({0: frozenset({1})}, 0.3, 0.6)
+    choice = optimizer.choose(query)
+    assert choice.generation == index.generation
+
+
+def test_chosen_estimate_tracks_execution_variant(setup):
+    """chosen_estimate is the admission-weight scalar: it must price the
+    variant that will actually run (serial / sharded / cache serve)."""
+    _, index = setup
+    optimizer = ColarmOptimizer(index)
+    query = LocalizedQuery({0: frozenset({1})}, 0.3, 0.6)
+    choice = optimizer.choose(query)
+
+    serial = replace(choice, parallel=False, cached=False)
+    assert serial.chosen_estimate == serial.estimates[serial.kind]
+
+    sharded = replace(
+        choice, parallel=True, cached=False,
+        parallel_estimates={choice.kind: 0.25},
+    )
+    assert sharded.chosen_estimate == 0.25
+
+    served = replace(
+        choice, cached=True, cached_estimates={choice.kind: 0.01},
+    )
+    assert served.chosen_estimate == 0.01

@@ -121,3 +121,53 @@ def test_rank_unknown_measure(workspace, capsys):
     _, index_path = workspace
     assert main(["rank", str(index_path), QUERY, "--measure", "magic"]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_replay(workspace, tmp_path, capsys):
+    _, index_path = workspace
+    workload = tmp_path / "workload.txt"
+    workload.write_text(f"# comment line\n{QUERY}\n\n{QUERY}\n")
+    assert main(["replay", str(index_path), str(workload),
+                 "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "[1] plan" in out and "[2] plan" in out
+    assert '"served": 2' in out  # stats snapshot JSON at the end
+
+
+def test_replay_all_shed_exits_nonzero(workspace, tmp_path, capsys):
+    _, index_path = workspace
+    workload = tmp_path / "w.txt"
+    workload.write_text(QUERY + "\n")
+    code = main(["replay", str(index_path), str(workload),
+                 "--cost-ceiling", "0", "--over-budget", "shed",
+                 "--no-cache"])
+    assert code == 1
+    assert "ServiceOverloadError" in capsys.readouterr().out
+
+
+def test_replay_empty_workload(workspace, tmp_path, capsys):
+    _, index_path = workspace
+    workload = tmp_path / "empty.txt"
+    workload.write_text("# only comments\n\n")
+    assert main(["replay", str(index_path), str(workload)]) == 2
+    assert "empty workload" in capsys.readouterr().err
+
+
+def test_serve_stdin_loop(workspace, capsys, monkeypatch):
+    import io
+    import json
+
+    _, index_path = workspace
+    monkeypatch.setattr(
+        "sys.stdin", io.StringIO(f"{QUERY}\n# note\n{QUERY}\n")
+    )
+    assert main(["serve", str(index_path), "--workers", "1"]) == 0
+    captured = capsys.readouterr()
+    responses = [json.loads(line)
+                 for line in captured.out.strip().splitlines()]
+    assert len(responses) == 2
+    assert all(r["ok"] for r in responses)
+    assert {r["line"] for r in responses} == {1, 2}
+    assert all("trace" in r and "rules" in r for r in responses)
+    snapshot = json.loads(captured.err.strip().splitlines()[-1])
+    assert snapshot["served"] == 2

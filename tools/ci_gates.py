@@ -13,11 +13,14 @@ Usage::
 
     PYTHONPATH=src:benchmarks python tools/ci_gates.py
     ... --config ci_gates.json --report benchmarks/results/ci_gates.json
+    ... --only serving            # run a single gate
     ... --override-weight arm=0   # sanity check: must FAIL the gate
+    ... --only serving --corrupt-admission   # likewise: must FAIL
 
 ``--override-weight`` deliberately corrupts one fitted weight after
-calibration; it exists so the gate itself can be tested (a gate that
-cannot fail gates nothing).
+calibration and ``--corrupt-admission`` mis-wires the serving layer's
+admission knobs; they exist so the gates themselves can be tested (a
+gate that cannot fail gates nothing).
 """
 
 from __future__ import annotations
@@ -243,6 +246,87 @@ def run_cache_selftest(config: dict) -> dict:
     }
 
 
+def run_serving_selftest(config: dict, corrupt: bool = False) -> dict:
+    """Admission-control sanity for the concurrent query service.
+
+    Three structural assertions (no thresholds — each pins a degenerate
+    knob setting to the behaviour it *must* produce):
+
+    * ``cost_ceiling = 0`` with ``over_budget="shed"`` — every request's
+      estimated cost is strictly positive, so a live service over a
+      probe workload must shed **everything** (zero serves).  A
+      regression that stops using the optimizer's estimates as admission
+      weights (e.g. admitting on a constant) fails here.
+    * ``aging = inf`` — the scheduler's effective priority is dominated
+      by waiting time, so pops must come out in **arrival order** (pure
+      FIFO) even when costs are pushed in descending order.
+    * ``aging = 0`` — priority is pure cost, so pops must come out in
+      **cost order** regardless of arrival order.
+
+    ``corrupt=True`` deliberately mis-wires the first two knobs (ceiling
+    ``0 -> inf``, aging ``inf -> 0``) while keeping the assertions: both
+    must then FAIL — a gate that cannot fail gates nothing.
+    """
+    import asyncio
+
+    from repro.core.calibration import default_probe_queries
+    from repro.core.engine import Colarm
+    from repro.dataset.salary import salary_dataset
+    from repro.errors import ServiceOverloadError
+    from repro.serving import CostScheduler, ServingConfig, serve_all
+
+    t0 = time.perf_counter()
+    engine = Colarm(
+        salary_dataset(),
+        primary_support=float(config.get("primary_support", 0.15)),
+    )
+    build_s = time.perf_counter() - t0
+    queries = default_probe_queries(
+        engine.index,
+        n_queries=int(config["n_queries"]),
+        seed=int(config["seed"]),
+    )
+
+    ceiling = float("inf") if corrupt else 0.0
+    serving = ServingConfig(cost_ceiling=ceiling, over_budget="shed")
+    results, snapshot = asyncio.run(serve_all(engine, list(queries), serving))
+    n_shed = sum(isinstance(r, ServiceOverloadError) for r in results)
+
+    costs = [5.0, 4.0, 3.0, 2.0, 1.0]  # descending: FIFO != cost order
+    fifo_sched = CostScheduler(aging=0.0 if corrupt else float("inf"))
+    for i, cost in enumerate(costs):
+        fifo_sched.push(i, cost, enqueued=float(i))
+    fifo_order = [fifo_sched.pop() for _ in costs]
+
+    cost_sched = CostScheduler(aging=0.0)
+    for i, cost in enumerate(costs):
+        cost_sched.push(i, cost, enqueued=float(i))
+    cost_order = [cost_sched.pop() for _ in costs]
+
+    failures = []
+    if n_shed != len(queries):
+        failures.append("zero_ceiling_did_not_shed_everything")
+    if fifo_order != list(range(len(costs))):
+        failures.append("infinite_aging_not_fifo")
+    if cost_order != sorted(range(len(costs)), key=lambda i: costs[i]):
+        failures.append("zero_aging_not_cost_order")
+    return {
+        "dataset": "salary",
+        "scenarios": len(queries),
+        "build_s": round(build_s, 2),
+        "corrupted": corrupt,
+        "shed_at_zero_ceiling": n_shed,
+        "fifo_order_at_inf_aging": fifo_order,
+        "cost_order_at_zero_aging": cost_order,
+        "service_stats": snapshot,
+        "passed": not failures,
+        "failures": failures,
+    }
+
+
+_GATES = ("acc", "parallel", "cache", "serving")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--config", type=Path, default=REPO_ROOT / "ci_gates.json")
@@ -258,6 +342,18 @@ def main(argv: list[str] | None = None) -> int:
         metavar="NAME=VALUE",
         help="corrupt one fitted cost weight (gate self-test)",
     )
+    parser.add_argument(
+        "--only",
+        choices=("all",) + _GATES,
+        default="all",
+        help="run a single gate instead of every configured one",
+    )
+    parser.add_argument(
+        "--corrupt-admission",
+        action="store_true",
+        help="mis-wire the serving admission knobs (ceiling 0 -> inf, "
+        "aging inf -> 0); the serving self-test must then FAIL",
+    )
     args = parser.parse_args(argv)
 
     overrides: dict[str, float] = {}
@@ -265,42 +361,56 @@ def main(argv: list[str] | None = None) -> int:
         name, _, value = spec.partition("=")
         overrides[name] = float(value)
 
+    def wanted(gate: str) -> bool:
+        return args.only in ("all", gate)
+
     config = json.loads(args.config.read_text())
-    report = run_acc_gate(config["acc"], overrides)
+    report = run_acc_gate(config["acc"], overrides) if wanted("acc") else None
     parallel_report = (
         run_parallel_selftest(config["parallel"])
-        if "parallel" in config
+        if "parallel" in config and wanted("parallel")
         else None
     )
     cache_report = (
-        run_cache_selftest(config["cache"]) if "cache" in config else None
+        run_cache_selftest(config["cache"])
+        if "cache" in config and wanted("cache")
+        else None
+    )
+    serving_report = (
+        run_serving_selftest(config["serving"], corrupt=args.corrupt_admission)
+        if "serving" in config and wanted("serving")
+        else None
     )
 
     args.report.parent.mkdir(parents=True, exist_ok=True)
-    full_report = dict(report)
+    full_report = dict(report) if report is not None else {}
     if parallel_report is not None:
         full_report["parallel_selftest"] = parallel_report
     if cache_report is not None:
         full_report["cache_selftest"] = cache_report
+    if serving_report is not None:
+        full_report["serving_selftest"] = serving_report
     args.report.write_text(json.dumps(full_report, indent=2) + "\n")
 
-    print(
-        f"acc-gate [{report['dataset']}, {report['scenarios']} scenarios, "
-        f"build {report['build_s']}s + run {report['run_s']}s]"
-    )
-    for name, check in report["checks"].items():
-        status = "ok  " if name not in report["failures"] else "FAIL"
+    passed = True
+    if report is not None:
+        passed = report["passed"]
         print(
-            f"  {status} {name:<18} {check['value']:.3f} "
-            f"{check['op']} {check['bound']}"
+            f"acc-gate [{report['dataset']}, {report['scenarios']} scenarios, "
+            f"build {report['build_s']}s + run {report['run_s']}s]"
         )
-    for plan, stats in sorted(report["residuals"].items()):
-        print(
-            f"  residual {plan:<9} n={stats['n']:.0f} "
-            f"median log(est/meas)={stats['median_log_ratio']:+.2f} "
-            f"mean|.|={stats['mean_abs_log_ratio']:.2f}"
-        )
-    passed = report["passed"]
+        for name, check in report["checks"].items():
+            status = "ok  " if name not in report["failures"] else "FAIL"
+            print(
+                f"  {status} {name:<18} {check['value']:.3f} "
+                f"{check['op']} {check['bound']}"
+            )
+        for plan, stats in sorted(report["residuals"].items()):
+            print(
+                f"  residual {plan:<9} n={stats['n']:.0f} "
+                f"median log(est/meas)={stats['median_log_ratio']:+.2f} "
+                f"mean|.|={stats['mean_abs_log_ratio']:.2f}"
+            )
     if parallel_report is not None:
         passed = passed and parallel_report["passed"]
         status = "ok  " if parallel_report["passed"] else "FAIL"
@@ -320,15 +430,28 @@ def main(argv: list[str] | None = None) -> int:
             f"{cache_report['cache_picks_at_zero_cost']}"
             f" (want {cache_report['scenarios']})"
         )
+    if serving_report is not None:
+        passed = passed and serving_report["passed"]
+        status = "ok  " if serving_report["passed"] else "FAIL"
+        print(
+            f"  {status} serving-selftest   "
+            f"shed at zero ceiling={serving_report['shed_at_zero_ceiling']}"
+            f" (want {serving_report['scenarios']}), "
+            f"FIFO at inf aging="
+            f"{serving_report['fifo_order_at_inf_aging']}"
+            + (" [admission corrupted]" if serving_report["corrupted"] else "")
+        )
     if passed:
-        print("acc-gate: PASS")
+        print("ci-gates: PASS")
         return 0
-    failures = list(report["failures"])
+    failures = list(report["failures"]) if report is not None else []
     if parallel_report is not None:
         failures += parallel_report["failures"]
     if cache_report is not None:
         failures += cache_report["failures"]
-    print(f"acc-gate: FAIL ({', '.join(failures)})")
+    if serving_report is not None:
+        failures += serving_report["failures"]
+    print(f"ci-gates: FAIL ({', '.join(failures)})")
     return 1
 
 

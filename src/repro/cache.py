@@ -410,6 +410,17 @@ class RuleCache:
         self.stats.current_bytes = 0
         return n
 
+    def rebind_index(self, index: "MIPIndex") -> None:
+        """Point the cache at a recompacted replacement index.
+
+        Every entry is dropped eagerly: the replacement's generation clock
+        starts past the old index's, so all stamps are stale anyway —
+        clearing now keeps the footprint honest instead of leaking dead
+        payloads until probe-time drops find them.
+        """
+        self.index = index
+        self.invalidate()
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -134,6 +134,26 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--limit", type=int, default=5,
                         help="max rules to print per response (default 5)")
     add_serving_args(replay)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="append records to an index through the array-native delta "
+             "store (no rebuild on the hot path; background recompaction "
+             "folds the delta when it outgrows its bound)",
+    )
+    ingest.add_argument("index", help="index file (.npz) to ingest into")
+    ingest.add_argument("records",
+                        help="file of records, one per line of comma-"
+                             "separated value labels in schema order "
+                             "('-' for stdin)")
+    ingest.add_argument("--batch-size", type=int, default=256,
+                        help="records per vectorized append (default 256)")
+    ingest.add_argument("--max-delta-fraction", type=float, default=0.1,
+                        help="delta size bound triggering a background "
+                             "recompaction (default 0.1)")
+    ingest.add_argument("--out", default=None,
+                        help="write the maintained state here instead of "
+                             "updating the input file in place")
     return parser
 
 
@@ -419,6 +439,111 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1 if n_failed == len(results) else 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream records into an index through the maintained delta store."""
+    from repro.core.maintenance import MaintainedIndex
+    from repro.core.persistence import (
+        delta_sidecar_path,
+        load_maintained,
+        save_maintained,
+    )
+    from repro.errors import DataError
+
+    if delta_sidecar_path(args.index).exists():
+        maintained, weights = load_maintained(args.index)
+        maintained.max_delta_fraction = args.max_delta_fraction
+    else:
+        index, weights = load_index(args.index)
+        maintained = MaintainedIndex.from_index(
+            index, max_delta_fraction=args.max_delta_fraction
+        )
+    maintained.auto_rebuild = False  # folds run in the background instead
+    schema = maintained.schema
+    encoders = [
+        {label: code for code, label in enumerate(attr.values)}
+        for attr in schema.attributes
+    ]
+
+    def encode(line_no: int, line: str) -> list[int]:
+        fields = [f.strip() for f in line.split(",")]
+        if len(fields) != schema.n_attributes:
+            raise DataError(
+                f"line {line_no}: {len(fields)} fields, expected "
+                f"{schema.n_attributes}"
+            )
+        row = []
+        for ai, field in enumerate(fields):
+            code = encoders[ai].get(field)
+            if code is None:
+                raise DataError(
+                    f"line {line_no}: unknown value {field!r} for attribute "
+                    f"{schema.attributes[ai].name}"
+                )
+            row.append(code)
+        return row
+
+    if args.records == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.records, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    header = ",".join(attr.name for attr in schema.attributes)
+    if lines and "".join(lines[0].split()) == "".join(header.split()):
+        lines = lines[1:]  # tolerate the CSV header `colarm build` takes
+    rows = [
+        encode(i, line.strip())
+        for i, line in enumerate(lines, start=1)
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not rows:
+        print("colarm: error: no records to ingest", file=sys.stderr)
+        return 2
+
+    n_folds = 0
+    for lo in range(0, len(rows), max(args.batch_size, 1)):
+        batch = rows[lo:lo + max(args.batch_size, 1)]
+        maintained.append(batch)
+        print(
+            f"appended {len(batch)} records -> generation "
+            f"{maintained.generation} ({maintained.n_delta_records} in delta)"
+        )
+        pending = maintained.n_delta_records + (
+            maintained.n_main_records - maintained.n_main_live
+        )
+        if (
+            not maintained.recompacting
+            and pending
+            > maintained.max_delta_fraction * max(maintained.n_main_records, 1)
+        ):
+            maintained.begin_recompaction()
+            print(f"recompaction started (delta held {pending} mutations)")
+        if maintained.recompacting:
+            generation = maintained.poll_recompaction()
+            if generation is not None:
+                n_folds += 1
+                print(
+                    f"recompaction installed -> generation {generation}, "
+                    f"{maintained.n_main_records} main records "
+                    f"({maintained.last_build_s * 1000:.0f} ms in background)"
+                )
+    if maintained.recompacting:
+        generation = maintained.poll_recompaction(wait=True)
+        n_folds += 1
+        print(
+            f"recompaction installed -> generation {generation}, "
+            f"{maintained.n_main_records} main records "
+            f"({maintained.last_build_s * 1000:.0f} ms in background)"
+        )
+    out = args.out or args.index
+    save_maintained(maintained, out, weights=weights)
+    print(
+        f"ingested {len(rows)} records: generation {maintained.generation}, "
+        f"{maintained.n_main_records} main + {maintained.n_delta_records} "
+        f"delta records, {n_folds} recompaction(s) -> {out}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "info": _cmd_info,
@@ -430,6 +555,7 @@ _COMMANDS = {
     "suggest": _cmd_suggest,
     "serve": _cmd_serve,
     "replay": _cmd_replay,
+    "ingest": _cmd_ingest,
 }
 
 

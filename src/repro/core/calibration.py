@@ -28,12 +28,14 @@ from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
     from repro.cache import RuleCache
+    from repro.core.maintenance import MaintainedIndex
     from repro.parallel import ParallelContext
 
 __all__ = [
     "CalibrationReport",
     "calibrate",
     "calibrate_cache",
+    "calibrate_maintenance",
     "calibrate_parallel",
     "default_probe_queries",
 ]
@@ -323,6 +325,75 @@ def calibrate_cache(cache: "RuleCache", weights: CostWeights) -> CostWeights:
     fitted["cache_probe"] = max(cache.measure_probe_overhead(), 1e-8)
     fitted["cache_load"] = max(cache.measure_load_throughput(), 1e-12)
     return CostWeights(fitted)
+
+
+def calibrate_maintenance(
+    maintained: "MaintainedIndex", weights: CostWeights
+) -> CostWeights:
+    """Fit the delta-store weights from the live maintained index.
+
+    Mirrors :func:`calibrate_parallel` / :func:`calibrate_cache`: the two
+    delta cost terms are measured, not guessed —
+
+    * ``delta_probe`` — seconds per candidate-word of the delta count
+      correction (one AND+popcount of a delta-MIP row against the delta
+      focal row), measured over a matrix shaped like the live delta
+      store so the per-call numpy overhead is amortized exactly as the
+      query path amortizes it;
+    * ``delta_merge`` — seconds per word of the delta lattice merge
+      (the projected subset-lattice AND+popcount plus the elementwise
+      int64 add into the main counts).
+
+    Every other weight is untouched; like the cache fit, rerunning
+    :func:`calibrate` afterwards resets these two to their defaults (the
+    probe traces never exercise them), so fit the maintenance weights
+    last.
+    """
+    words = max(1, maintained.delta_words)
+    fitted = dict(weights.weights)
+    fitted["delta_probe"] = max(_measure_delta_probe(words), 1e-10)
+    fitted["delta_merge"] = max(_measure_delta_merge(words), 1e-12)
+    return CostWeights(fitted)
+
+
+def _measure_delta_probe(
+    words: int, n_rows: int = 2048, rounds: int = 3
+) -> float:
+    """Seconds per row-word of the batched delta AND+popcount."""
+    from repro import kernels
+
+    rng = np.random.default_rng(7)
+    matrix = rng.integers(
+        0, np.iinfo(np.uint64).max, size=(n_rows, words), dtype=np.uint64
+    ).astype(np.dtype("<u8"))
+    row = matrix[0].copy()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        kernels.and_count(matrix, row)
+        best = min(best, time.perf_counter() - start)
+    return best / (n_rows * words)
+
+
+def _measure_delta_merge(
+    words: int, n_groups: int = 512, rounds: int = 3
+) -> float:
+    """Seconds per word of the delta lattice count-and-add."""
+    from repro import kernels
+
+    rng = np.random.default_rng(11)
+    matrix = rng.integers(
+        0, np.iinfo(np.uint64).max, size=(n_groups, words), dtype=np.uint64
+    ).astype(np.dtype("<u8"))
+    row = matrix[0].copy()
+    main = np.ones(n_groups, dtype=np.int64)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        counts = kernels.and_count(matrix, row).astype(np.int64)
+        _ = main + counts
+        best = min(best, time.perf_counter() - start)
+    return best / (n_groups * words)
 
 
 def _measure_merge_throughput(

@@ -62,6 +62,13 @@ __all__ = [
 #: lattice hit gathers ``lattice_cells`` counts before re-extracting); they
 #: are fitted from the live cache by ``calibration.calibrate_cache`` and
 #: never appear in a serial load vector either.
+#: ``delta_probe``/``delta_merge`` price the delta-store corrections of a
+#: maintained index (per-candidate AND+popcount over the delta MIP matrix,
+#: and the delta lattice build+merge in rule generation); they are fitted
+#: from the live delta store by ``calibration.calibrate_maintenance`` and
+#: appear in a load vector only while un-folded delta records exist — the
+#: optimizer's recompaction advice compares their accumulated toll against
+#: the cost of folding (see ``ColarmOptimizer.recompaction_advice``).
 DEFAULT_WEIGHTS: dict[str, float] = {
     "search": 3e-6,
     "eliminate": 3e-8,
@@ -74,6 +81,8 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "par_merge": 1e-9,
     "cache_probe": 5e-6,
     "cache_load": 2e-8,
+    "delta_probe": 3e-8,
+    "delta_merge": 4e-8,
 }
 
 
@@ -136,6 +145,13 @@ class QueryProfile:
     #: Measured local structure behind the ARM estimate (None when the
     #: per-item tidsets were unavailable and stored-MIP survivors stood in).
     arm_stats: "ArmModelStats | None" = None
+    #: Live delta-store records awaiting the next fold (0 = immutable
+    #: index; the delta load terms then vanish from every plan).
+    delta_records: int = 0
+    #: Live delta records inside the focal subset (``|D^Q ∩ delta|``).
+    delta_dq_size: int = 0
+    #: Packed 64-bit words per delta-matrix row at profile time.
+    delta_words: int = 0
 
     @classmethod
     def from_query(
@@ -147,6 +163,9 @@ class QueryProfile:
         min_count: int,
         item_local_tidsets: "dict[tuple[int, int], int] | None" = None,
         dq: int | None = None,
+        delta_records: int = 0,
+        delta_dq_size: int = 0,
+        delta_words: int = 0,
     ) -> "QueryProfile":
         """Build the profile.
 
@@ -189,6 +208,9 @@ class QueryProfile:
             arm_itemsets=arm_itemsets,
             arm_fanout=arm_fanout,
             arm_stats=arm_stats,
+            delta_records=delta_records,
+            delta_dq_size=delta_dq_size,
+            delta_words=delta_words,
             **cards,
         )
 
@@ -847,6 +869,42 @@ class CostModel:
             + profile.arm_fanout * op_cost
         )
 
+    def delta_loads(
+        self, kind: PlanKind, profile: QueryProfile
+    ) -> dict[str, float]:
+        """Extra load terms a live delta store adds to one plan.
+
+        Empty when the index is immutable (``delta_records == 0``) — the
+        delta terms must *vanish* rather than appear with zero loads, so
+        that pricing with ``delta_probe = inf`` (the recompaction
+        forcing-function used by the CI gate) never multiplies
+        ``inf * 0 = nan`` into a delta-free plan's cost.
+
+        * ``delta_probe`` — every candidate's count correction is one
+          AND+popcount of its delta-MIP row against the delta focal row
+          (``cands x delta_words``), plus the focal-row build itself
+          (one pass over the delta item rows);
+        * ``delta_merge`` — rule generation re-projects the delta item
+          rows (``sum(cardinalities) x delta_words``) and adds the delta
+          subset-lattice counts at the projected ``|D^Q_delta|`` width
+          (``qualified_fanout x delta_dq_words``).
+
+        ARM has no delta-specific term: the delta records ride into the
+        selected sub-table, and ``select``/``arm`` are already priced by
+        the *combined* ``dq_size`` the optimizer profiles.
+        """
+        if profile.delta_records <= 0 or kind is PlanKind.ARM:
+            return {}
+        supported = kind in (PlanKind.SSEV, PlanKind.SSVS, PlanKind.SSEUV)
+        cands = profile.n_cands_supported if supported else profile.n_cands
+        words = max(1, profile.delta_words)
+        ddq_words = max(1, -(-profile.delta_dq_size // 64))
+        projection = float(sum(self.stats.cardinalities)) * words
+        return {
+            "delta_probe": (cands + 1.0) * words,
+            "delta_merge": projection + profile.qualified_fanout * ddq_words,
+        }
+
     # -- plan load vectors --------------------------------------------------------
 
     def loads(self, kind: PlanKind, profile: QueryProfile) -> dict[str, float]:
@@ -875,6 +933,7 @@ class CostModel:
             loads["const"] = 2.0  # selection pushed up: one stage fewer
         else:  # SS-E-U-V: split + eliminate + union + verify
             loads["const"] = 4.0
+        loads.update(self.delta_loads(kind, profile))
         return loads
 
     def parallel_loads(

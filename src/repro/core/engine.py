@@ -28,10 +28,12 @@ from repro.core.calibration import (
     CalibrationReport,
     calibrate,
     calibrate_cache,
+    calibrate_maintenance,
     calibrate_parallel,
     default_probe_queries,
 )
 from repro.core.costs import CostWeights
+from repro.core.maintenance import MaintainedIndex
 from repro.core.mipindex import MIPIndex, build_mip_index
 from repro.core.operators import ExecutionTrace
 from repro.core.optimizer import ColarmOptimizer, PlanChoice
@@ -89,6 +91,8 @@ class Colarm:
         self.optimizer = ColarmOptimizer(self.index, weights)
         self.parallel = None
         self.cache: RuleCache | None = None
+        self.maintenance: MaintainedIndex | None = None
+        self._recompact_horizon = 100
 
     @classmethod
     def from_index(
@@ -104,6 +108,8 @@ class Colarm:
         engine.optimizer = ColarmOptimizer(index, weights)
         engine.parallel = None
         engine.cache = None
+        engine.maintenance = None
+        engine._recompact_horizon = 100
         return engine
 
     # -- introspection ------------------------------------------------------
@@ -230,6 +236,163 @@ class Colarm:
         self.optimizer.set_cache(None)
         return self
 
+    # -- offline: delta-store maintenance --------------------------------------
+
+    def enable_maintenance(
+        self,
+        max_delta_fraction: float = 0.1,
+        calibrate: bool = True,
+        horizon: int = 100,
+    ) -> "Colarm":
+        """Make the engine ingest-while-serving (:mod:`repro.core.maintenance`).
+
+        Enabling:
+
+        1. wraps the index in a :class:`MaintainedIndex` whose array-native
+           delta store every plan answers over (live main+delta, vectorized
+           corrections) — the index object and its lineage are untouched;
+        2. fits the ``delta_probe``/``delta_merge`` cost weights from the
+           live delta store (:func:`repro.core.calibration.
+           calibrate_maintenance`) — run *after* :meth:`calibrate`, which
+           refits from plan traces and would reset them to defaults;
+        3. installs the delta source in the optimizer, which from then on
+           profiles the combined live focal subset and prices the delta
+           toll into every MIP plan.
+
+        Rebuild-vs-accumulate is then a *priced* decision: each optimized
+        query compares the accumulated delta toll over ``horizon`` queries
+        against the measured fold cost and starts a **background**
+        recompaction when folding wins (the size backstop
+        ``max_delta_fraction`` also triggers one).  The fold is installed
+        on the serving thread at the next query or :meth:`poll_maintenance`
+        call, rebinding the optimizer/cache/pool to the fresh index.
+
+        Idempotent (re-enabling keeps the current delta store); returns
+        ``self``.
+        """
+        if self.maintenance is None:
+            self.maintenance = MaintainedIndex.from_index(
+                self.index,
+                max_delta_fraction=max_delta_fraction,
+                auto_rebuild=False,
+            )
+        else:
+            self.maintenance.max_delta_fraction = max_delta_fraction
+        self._recompact_horizon = horizon
+        if calibrate:
+            self.optimizer.set_weights(
+                calibrate_maintenance(self.maintenance, self.optimizer.weights)
+            )
+        self.optimizer.set_delta(self.maintenance)
+        return self
+
+    def disable_maintenance(self) -> "Colarm":
+        """Fold any outstanding delta and return to an immutable index."""
+        if self.maintenance is None:
+            return self
+        self.maintenance.poll_recompaction(wait=True)
+        self._install_recompaction()
+        if (
+            self.maintenance.n_delta_records
+            or self.maintenance.n_main_live != self.maintenance.n_main_records
+        ):
+            self.maintenance.rebuild()
+            self._rebind_index(self.maintenance.index)
+        self.maintenance = None
+        self.optimizer.set_delta(None)
+        return self
+
+    def append(self, records) -> int:
+        """Ingest new records; returns the index generation after the append.
+
+        Requires :meth:`enable_maintenance`.  The append is a vectorized
+        delta-store insert (no index rebuild on the hot path); if the live
+        delta outgrows ``max_delta_fraction`` of the main data a
+        *background* recompaction starts, folding the delta into a fresh
+        index off the serving path.
+        """
+        self._require_maintenance().append(records)
+        self._maybe_recompact()
+        return self.index.generation
+
+    def delete(self, tids) -> int:
+        """Tombstone records by tid; returns the generation after."""
+        self._require_maintenance().delete(tids)
+        self._maybe_recompact()
+        return self.index.generation
+
+    def poll_maintenance(self, wait: bool = False) -> bool:
+        """Install a finished background fold; True if one was installed."""
+        if self.maintenance is None:
+            return False
+        self.maintenance.poll_recompaction(wait=wait)
+        if self.maintenance.index is self.index:
+            return False
+        self._rebind_index(self.maintenance.index)
+        return True
+
+    def _require_maintenance(self) -> MaintainedIndex:
+        if self.maintenance is None:
+            raise ValueError(
+                "maintenance is not enabled; call enable_maintenance() first"
+            )
+        return self.maintenance
+
+    def _pending_mutations(self) -> int:
+        m = self.maintenance
+        return m.n_delta_records + (m.n_main_records - m.n_main_live)
+
+    def _build_cost_estimate(self) -> float:
+        """Fold cost in seconds: measured when available, sized otherwise."""
+        if self.maintenance.last_build_s > 0.0:
+            return self.maintenance.last_build_s
+        return max(0.05, 2e-6 * self.index.table.n_records)
+
+    def _maybe_recompact(self) -> None:
+        """The size backstop: fold when the delta outgrows its fraction."""
+        m = self.maintenance
+        if m.recompacting:
+            self.poll_maintenance()
+            return
+        if self._pending_mutations() > m.max_delta_fraction * max(
+            m.n_main_records, 1
+        ):
+            m.begin_recompaction()
+
+    def _advise_recompact(self, q: LocalizedQuery) -> None:
+        """The priced trigger: fold when the accumulated delta toll over
+        the recompaction horizon exceeds the fold cost."""
+        m = self.maintenance
+        if m.recompacting or self._pending_mutations() == 0:
+            return
+        advice = self.optimizer.recompaction_advice(
+            q, self._build_cost_estimate(), horizon=self._recompact_horizon
+        )
+        if advice.recommended:
+            m.begin_recompaction()
+
+    def _install_recompaction(self) -> None:
+        """Adopt a replacement index if one is ready (a finished background
+        fold, or a fold someone installed on the maintenance object
+        directly — identity, not the poll result, is the trigger)."""
+        self.poll_maintenance()
+
+    def _rebind_index(self, index: MIPIndex) -> None:
+        """Swap in a replacement index across every attached component."""
+        self.index = index
+        self.optimizer.rebind_index(index)
+        if self.cache is not None:
+            self.cache.rebind_index(index)
+        if self.parallel is not None:
+            # The pool's shared segments hold the old index's matrices;
+            # restart it against the replacement with the same config.
+            config = self.parallel.config
+            self.parallel.close()
+            from repro.parallel import ParallelContext
+
+            self.parallel = ParallelContext(index, config)
+            self.optimizer.set_parallel(self.parallel.cost_profile())
+
     # -- online: queries -------------------------------------------------------
 
     def parse(self, text: str) -> LocalizedQuery:
@@ -271,6 +434,8 @@ class Colarm:
         a stale serve.
         """
         q = self.parse(request) if isinstance(request, str) else request
+        if self.maintenance is not None:
+            self._install_recompaction()
         consult = use_cache and self.cache is not None
         if plan is None:
             if choice is not None and (
@@ -282,6 +447,8 @@ class Colarm:
                 choice = self.optimizer.choose(q, use_cache=consult)
             kind, chosen_by = choice.kind, "optimizer"
             parallel = self.parallel if choice.parallel else None
+            if self.maintenance is not None:
+                self._advise_recompact(q)
             if choice.cached:
                 served = self._serve_cached(q, kind, choice)
                 if served is not None:
@@ -297,7 +464,8 @@ class Colarm:
                     return served
         generation = self.cache.generation() if consult else None
         result = execute_plan(
-            kind, self.index, q, expand=self.expand, parallel=parallel
+            kind, self.index, q, expand=self.expand, parallel=parallel,
+            delta=self.maintenance,
         )
         if consult:
             self._populate_cache(q, kind, result, generation)
@@ -416,7 +584,10 @@ class Colarm:
         """Execute all six plans for one request (the evaluation harness)."""
         q = self.parse(request) if isinstance(request, str) else request
         return {
-            kind: execute_plan(kind, self.index, q, expand=self.expand)
+            kind: execute_plan(
+                kind, self.index, q, expand=self.expand,
+                delta=self.maintenance,
+            )
             for kind in PlanKind
         }
 

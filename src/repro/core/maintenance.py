@@ -1,54 +1,353 @@
-"""Incremental maintenance of the MIP-index (delta-store pattern).
+"""Array-native incremental maintenance of the MIP-index (delta store).
 
 POQM's weak spot is data change: the offline phase is expensive, so
 rebuilding on every appended record defeats the point.  This module keeps
 the classic main+delta split:
 
-* the **main** part is the immutable MIP-index built at the last rebuild;
-* the **delta** buffer holds records appended since then.
+* the **main** part is the immutable MIP-index built at the last fold;
+* the **delta** store holds records appended since then, plus tombstone
+  masks for deleted records (main deletes never touch the index — they
+  only mask tids out of every focal subset).
 
-Localized queries stay *exact*: every support count is the stored tidset
-count within the focal subset **plus** a brute-force count over the (few)
-matching delta records.  The one caveat is coverage: an itemset absent
-from the main index (global support below the primary floor at rebuild
-time) can have gained at most ``|delta|`` records since, so results are
-guaranteed complete whenever
+Unlike the first cut (per-record Python loops over a ``list[np.ndarray]``
+buffer), the delta store is *array-native* and rides the same kernel
+stack as the main index: records live in a growable 2-D matrix, every
+single-item delta tidset and every MIP's delta tidset is one row of a
+packed uint64 matrix (:mod:`repro.kernels` layout), and a query's delta
+focal subset is one packed row.  The online operators then answer
+``|t(I) ∩ D^Q|`` as ``stored ∩ D^Q_main`` (flat R-tree + batched
+AND+popcount, exactly as before) **plus** one vectorized AND+popcount
+over the delta rows — no per-record work anywhere on the read path.
 
-    minsupp * |D^Q| >= primary_support * |D_main| + |delta|
+Exactness and coverage
+----------------------
 
-(`MaintainedIndex.coverage_guaranteed` checks it, and `auto_rebuild`
-triggers a rebuild once the delta exceeds its budget).
+Localized queries stay *exact*: every emitted rule's support and
+confidence are computed over the live main+delta data.  The one caveat
+is coverage: an itemset absent from the main index (global support below
+the primary floor at build time) can have gained at most ``|delta|``
+live records since, so the result set is provably complete whenever ::
 
-Rule *statistics* (supports, confidences) are always exact over
-main + delta; the emitted rule set matches a full rebuild's up to closure
-representation (candidates are the main index's closed itemsets, whose
-closures can shift slightly once the delta records are folded in).
+    minsupp * |D^Q| >= primary_support * |D_main| + |delta_live|
+
+(:meth:`MaintainedIndex.coverage_guaranteed`; deletes only shrink both
+sides' counts, so stored global counts stay valid upper bounds).  Under
+that guarantee the *expanded* query mode is byte-identical to a full
+rebuild for all six plans (property-tested); closed mode matches up to
+closure representation (combined data can grow new closed sets).
+
+Folding the delta back in
+-------------------------
+
+Two ways: :meth:`MaintainedIndex.rebuild` folds synchronously (the
+legacy ``max_delta_fraction`` auto policy still drives it), and
+:meth:`MaintainedIndex.begin_recompaction` builds the fresh index — a
+full offline artifact, flat-compiled and format-v2 ready — on a
+background thread while reads keep serving the old generation;
+:meth:`poll_recompaction` installs the result and replays whatever
+appends/deletes landed mid-build through an op log with old→new tid
+translation.  The engine prices *when* to fold via the cost model's
+``delta_probe``/``delta_merge`` weights (see
+:meth:`repro.core.optimizer.ColarmOptimizer.recompaction_advice`).
+
+Every mutation is a first-class generation event
+(:meth:`repro.core.mipindex.MIPIndex.bump_generation`), so cached rules,
+memoized plan choices, and serving-layer coalescing can never serve
+pre-append state; an installed fold re-bases the lineage at the old
+generation plus one.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import threading
+import time
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro import tidset as ts
+from repro import kernels, tidset as ts
 from repro.core.mipindex import MIPIndex, build_mip_index
-from repro.core.query import LocalizedQuery
+from repro.core.plans import PlanKind, execute_plan
+from repro.core.query import LocalizedQuery, Overlap
 from repro.dataset.table import RelationalTable
 from repro.errors import DataError
 from repro.itemsets.apriori import min_count_for
-from repro.itemsets.itemset import Itemset
+from repro.itemsets.itemset import Itemset, make_itemset
 from repro.itemsets.rules import Rule, rules_from_itemsets
 
-__all__ = ["MaintainedIndex"]
+__all__ = ["DeltaBuffer", "DeltaView", "MaintainedIndex"]
+
+_WORD_DTYPE = np.dtype("<u8")
+
+#: Records per chunk of the append-time MIP fixed-value match (bounds the
+#: transient ``chunk x n_mips`` boolean at ~256 * N bytes).
+_MATCH_CHUNK = 256
+
+
+class DeltaBuffer:
+    """Packed-matrix store of appended records, sharing the kernel layout.
+
+    Three synchronized representations are maintained incrementally per
+    append batch, each with *capacity*-bit packed rows (little-endian
+    uint64 words, the :mod:`repro.kernels` layout, local tid = position
+    in the buffer):
+
+    * ``data``  — the raw ``(capacity, n_attrs)`` int32 record matrix
+      (rebuilds and the ARM plan's SELECT read live rows from it);
+    * ``items`` — one packed delta tidset per schema item, attr-major
+      (row ``bases[a] + v`` is item ``(a, v)``), so a whole batch lands
+      with a single ``bitwise_or.at`` scatter;
+    * ``mips``  — one packed delta tidset per main-index MIP, kept by a
+      vectorized fixed-value match against ``stats.mip_fixed_values``,
+      so ELIMINATE's delta correction is one AND+popcount row-gather.
+
+    Deletes clear the record's bit in ``live`` only (O(1)); dead bits
+    stay set in ``items``/``mips`` and are masked out because every
+    focal row is ANDed with ``live`` first.
+    """
+
+    def __init__(self, schema, mip_fixed_values: np.ndarray, capacity: int = 64):
+        self.schema = schema
+        self.n_attrs = schema.n_attributes
+        self.cards = np.asarray(schema.cardinalities(), dtype=np.int64)
+        bases = np.zeros(self.n_attrs, dtype=np.int64)
+        np.cumsum(self.cards[:-1], out=bases[1:])
+        self.bases = bases
+        self.total_items = int(self.cards.sum())
+        #: Item -> row of ``items``; covers *every* schema item (also ones
+        #: absent from the main table), so delta-only items still count.
+        self.row_of = {
+            schema.item(a, v): int(bases[a]) + v
+            for a in range(self.n_attrs)
+            for v in range(int(self.cards[a]))
+        }
+        self.mip_fixed = np.asarray(mip_fixed_values, dtype=np.int64)
+        self.capacity = 0
+        self.words = 1
+        self.n_rows = 0
+        self.data = np.zeros((0, self.n_attrs), dtype=np.int32)
+        self.live = kernels.zero_row(1)
+        self.items = np.zeros((self.total_items, 1), dtype=_WORD_DTYPE)
+        self.mips = np.zeros((len(self.mip_fixed), 1), dtype=_WORD_DTYPE)
+        self._reserve(max(int(capacity), 1))
+
+    # -- storage ---------------------------------------------------------------
+
+    def _reserve(self, n_rows: int) -> None:
+        """Grow to hold ``n_rows`` records (amortized doubling)."""
+        if n_rows <= self.capacity:
+            return
+        new_words = kernels.n_words(max(64, self.capacity * 2, n_rows))
+        new_cap = new_words * kernels.WORD_BITS
+        grown = np.zeros((new_cap, self.n_attrs), dtype=np.int32)
+        grown[: self.n_rows] = self.data[: self.n_rows]
+        self.data = grown
+        if new_words != self.words:
+            def widen(matrix: np.ndarray) -> np.ndarray:
+                out = np.zeros((matrix.shape[0], new_words), dtype=_WORD_DTYPE)
+                out[:, : matrix.shape[1]] = matrix
+                return out
+
+            self.items = widen(self.items)
+            self.mips = widen(self.mips)
+            live = kernels.zero_row(new_words)
+            live[: self.words] = self.live
+            self.live = live
+            self.words = new_words
+        self.capacity = new_cap
+
+    @property
+    def n_live(self) -> int:
+        """Live (appended minus tombstoned) record count."""
+        return int(kernels.popcount_rows(self.live[None, :])[0])
+
+    def live_bool(self) -> np.ndarray:
+        """Boolean live mask over the ``n_rows`` appended records."""
+        bits = np.unpackbits(self.live.view(np.uint8), bitorder="little")
+        return bits[: self.n_rows].astype(bool)
+
+    # -- mutation --------------------------------------------------------------
+
+    def append(self, batch: np.ndarray) -> None:
+        """Ingest one *validated* ``(b, n_attrs)`` batch, fully vectorized.
+
+        One scatter into ``items`` (all ``b * n_attrs`` item bits at
+        once), one :func:`repro.kernels.set_bits` into ``live``, and a
+        chunked fixed-value broadcast match updating ``mips``.
+        """
+        b = len(batch)
+        if b == 0:
+            return
+        start = self.n_rows
+        self._reserve(start + b)
+        positions = np.arange(start, start + b, dtype=np.int64)
+        self.data[start : start + b] = batch
+        kernels.set_bits(self.live, positions)
+        words = (positions >> 6).astype(np.intp)
+        bits = np.uint64(1) << (positions & 63).astype(_WORD_DTYPE)
+        flat = (self.bases[None, :] + batch).astype(np.intp)
+        np.bitwise_or.at(
+            self.items,
+            (flat.ravel(), np.repeat(words, self.n_attrs)),
+            np.repeat(bits, self.n_attrs),
+        )
+        if len(self.mip_fixed):
+            fixed = self.mip_fixed
+            for lo in range(0, b, _MATCH_CHUNK):
+                hi = min(b, lo + _MATCH_CHUNK)
+                chunk = batch[lo:hi]
+                # A record supports a MIP iff it matches every fixed value
+                # (free attributes, stored as -1, match anything).
+                match = (
+                    (fixed[None, :, :] == chunk[:, None, :])
+                    | (fixed[None, :, :] < 0)
+                ).all(axis=2)
+                ri, mi = np.nonzero(match)
+                if len(ri):
+                    np.bitwise_or.at(
+                        self.mips, (mi, words[lo + ri]), bits[lo + ri]
+                    )
+        self.n_rows += b
+
+    def delete_local(self, local_ids: np.ndarray) -> None:
+        """Tombstone records by local id: clear their ``live`` bits."""
+        local_ids = np.asarray(local_ids, dtype=np.int64)
+        if local_ids.size == 0:
+            return
+        words = (local_ids >> 6).astype(np.intp)
+        bits = np.uint64(1) << (local_ids & 63).astype(_WORD_DTYPE)
+        np.bitwise_and.at(self.live, words, ~bits)
+
+    # -- reads -----------------------------------------------------------------
+
+    def focal_row(self, range_selections: Mapping[int, frozenset]) -> np.ndarray:
+        """Packed tidset of live delta records inside the focal region."""
+        row = self.live.copy()
+        for ai, values in range_selections.items():
+            base = int(self.bases[ai])
+            selected = kernels.zero_row(self.words)
+            for v in values:
+                selected |= self.items[base + int(v)]
+            row &= selected
+        return row
+
+    def matching_records(self, row: np.ndarray) -> np.ndarray:
+        """The raw records at the set positions of a packed row."""
+        bits = np.unpackbits(row.view(np.uint8), bitorder="little")
+        mask = bits[: self.n_rows].astype(bool)
+        return self.data[: self.n_rows][mask]
+
+    def nbytes(self) -> int:
+        """Footprint of the packed matrices plus the record store."""
+        return int(
+            self.data.nbytes + self.items.nbytes + self.mips.nbytes
+            + self.live.nbytes
+        )
+
+
+class DeltaView:
+    """One query's read view of the delta store (plus main tombstones).
+
+    Built by :meth:`MaintainedIndex.delta_view` and attached to the
+    :class:`~repro.core.operators.QueryContext`; the operators pull their
+    vectorized delta corrections from here:
+
+    * :meth:`mip_counts` — ELIMINATE's per-candidate delta partial, one
+      AND+popcount over a row-gather of the buffer's MIP matrix;
+    * :meth:`kernel` — a delta-universe
+      :class:`~repro.kernels.FocalKernel` that VERIFY combines with the
+      main projection (:class:`~repro.kernels.CombinedFocalKernel`);
+    * ``main_dead_packed`` — the packed main tombstone mask, for the
+      contained-candidate correction (Lemma 4.5 counts must drop dead
+      records the stored global counts still include).
+    """
+
+    __slots__ = (
+        "buffer", "focal_row", "dq_size", "main_dead_packed",
+        "main_dead_count", "_kernel",
+    )
+
+    def __init__(
+        self,
+        buffer: DeltaBuffer,
+        focal_row: np.ndarray,
+        main_dead_packed: np.ndarray | None,
+        main_dead_count: int,
+    ):
+        self.buffer = buffer
+        self.focal_row = focal_row
+        self.dq_size = int(kernels.popcount_rows(focal_row[None, :])[0])
+        self.main_dead_packed = main_dead_packed
+        self.main_dead_count = main_dead_count
+        self._kernel: kernels.FocalKernel | None = None
+
+    def kernel(self) -> "kernels.FocalKernel":
+        """The delta-universe focal kernel (lazy; tiny projection)."""
+        if self._kernel is None:
+            self._kernel = kernels.FocalKernel(
+                self.buffer.items,
+                self.buffer.row_of,
+                self.focal_row,
+                self.dq_size,
+            )
+        return self._kernel
+
+    def mip_counts(self, rows: np.ndarray) -> np.ndarray:
+        """``|delta(I) ∩ D^Q_delta|`` for the given MIP rows, batched."""
+        if self.dq_size == 0 or len(rows) == 0:
+            return np.zeros(len(rows), dtype=np.int64)
+        return kernels.and_count(
+            self.buffer.mips.take(rows, axis=0), self.focal_row
+        )
+
+    def itemset_count(self, itemset: Itemset) -> int:
+        """Delta-local support of one itemset (list-path correction)."""
+        if self.dq_size == 0:
+            return 0
+        return self.kernel().count(tuple(itemset))
+
+    def dead_counts(self, matrix: np.ndarray) -> np.ndarray:
+        """``|row_i ∩ dead_main|`` per packed main-universe row."""
+        if self.main_dead_packed is None:
+            return np.zeros(len(matrix), dtype=np.int64)
+        return kernels.and_count(matrix, self.main_dead_packed)
+
+    def records(self) -> np.ndarray:
+        """Matching live delta records (the ARM plan's SELECT extension)."""
+        if self.dq_size == 0:
+            return self.buffer.data[:0]
+        return self.buffer.matching_records(self.focal_row)
+
+
+class _Recompaction:
+    """State of one in-flight background fold."""
+
+    __slots__ = (
+        "thread", "result", "error", "log", "main_live", "delta_live",
+        "build_s",
+    )
+
+    def __init__(self, main_live: np.ndarray, delta_live: np.ndarray):
+        self.thread: threading.Thread | None = None
+        self.result: MIPIndex | None = None
+        self.error: Exception | None = None
+        #: Ordered op log of mutations that land while the build runs:
+        #: ("append", batch) / ("delete", tids in pre-install addressing).
+        self.log: list[tuple[str, np.ndarray]] = []
+        self.main_live = main_live
+        self.delta_live = delta_live
+        self.build_s = 0.0
 
 
 class MaintainedIndex:
-    """A MIP-index plus a delta buffer of appended records.
+    """A MIP-index plus an array-native delta store of appended records.
 
-    ``max_delta_fraction`` bounds the buffer relative to the main table;
-    :meth:`append` triggers an automatic rebuild beyond it (disable with
-    ``auto_rebuild=False`` and call :meth:`rebuild` manually).
+    ``max_delta_fraction`` bounds the live delta relative to the main
+    table; :meth:`append` triggers an automatic synchronous rebuild
+    beyond it (disable with ``auto_rebuild=False`` and fold manually via
+    :meth:`rebuild` or the background
+    :meth:`begin_recompaction`/:meth:`poll_recompaction` pair — the
+    engine's priced policy uses the latter).
     """
 
     def __init__(
@@ -63,9 +362,49 @@ class MaintainedIndex:
         self.primary_support = primary_support
         self.max_delta_fraction = max_delta_fraction
         self.auto_rebuild = auto_rebuild
-        self.index: MIPIndex = build_mip_index(table, primary_support)
-        self._delta_rows: list[np.ndarray] = []
         self.n_rebuilds = 0
+        self.n_recompactions = 0
+        self.last_build_s = 0.0
+        self._recomp: _Recompaction | None = None
+        start = time.perf_counter()
+        self._adopt(build_mip_index(table, primary_support))
+        self.last_build_s = time.perf_counter() - start
+
+    @classmethod
+    def from_index(
+        cls,
+        index: MIPIndex,
+        max_delta_fraction: float = 0.1,
+        auto_rebuild: bool = False,
+    ) -> "MaintainedIndex":
+        """Wrap an existing (possibly persisted) index for maintenance.
+
+        The index keeps its identity — same object, same generation
+        lineage — so engines can adopt maintenance without invalidating
+        caches or plan choices stamped against the current generation.
+        """
+        if not 0.0 < max_delta_fraction < 1.0:
+            raise DataError("max_delta_fraction must be in (0, 1)")
+        self = cls.__new__(cls)
+        self.primary_support = index.primary_support
+        self.max_delta_fraction = max_delta_fraction
+        self.auto_rebuild = auto_rebuild
+        self.n_rebuilds = 0
+        self.n_recompactions = 0
+        self.last_build_s = 0.0
+        self._recomp = None
+        self._adopt(index)
+        return self
+
+    def _adopt(self, index: MIPIndex) -> None:
+        """Install an index and reset the delta store around it."""
+        self.index = index
+        self._buffer = DeltaBuffer(
+            index.table.schema, index.stats.mip_fixed_values
+        )
+        self._main_dead = ts.EMPTY
+        self._main_dead_count = 0
+        self._main_dead_packed: np.ndarray | None = None
 
     # -- state ----------------------------------------------------------------
 
@@ -74,84 +413,385 @@ class MaintainedIndex:
         return self.index.table.n_records
 
     @property
+    def n_main_live(self) -> int:
+        return self.n_main_records - self._main_dead_count
+
+    @property
     def n_delta_records(self) -> int:
-        return len(self._delta_rows)
+        """Live delta records (appended minus tombstoned)."""
+        return self._buffer.n_live
 
     @property
     def n_records(self) -> int:
-        return self.n_main_records + self.n_delta_records
+        """Live records overall (main minus tombstones, plus live delta)."""
+        return self.n_main_live + self.n_delta_records
 
     @property
     def schema(self):
         return self.index.table.schema
 
     @property
+    def generation(self) -> int:
+        return self.index.generation
+
+    @property
+    def main_dead(self) -> int:
+        """Tidset of tombstoned main records (masked out of every query)."""
+        return self._main_dead
+
+    @property
+    def recompacting(self) -> bool:
+        """Whether a background fold is currently in flight."""
+        return self._recomp is not None
+
+    @property
     def flat_rtree_current(self) -> bool:
         """Whether the main index's compiled flat traversal form is current.
 
-        The hull searches of :meth:`query` run on the flat SoA form while
-        it matches the pointer tree's mutation counter; any direct
-        insert/delete on ``index.rtree.tree`` flips this to ``False`` and
-        searches fall back to the pointer tree (never stale hits) until
-        :meth:`repro.core.mipindex.MIPIndex.recompile_flat` or the next
-        :meth:`rebuild` (whose fresh index compiles its own flat form).
+        Delta mutations deliberately do *not* flip this: they bump the
+        generation through the index's logical clock, leaving the R-tree's
+        own mutation counter (which the flat compile is checked against)
+        untouched — ingest never knocks queries off the flat fast path.
         """
         return self.index.rtree.flat_is_current()
 
+    @property
+    def delta_words(self) -> int:
+        """Packed 64-bit words per delta-matrix row (the cost model's
+        ``delta_words`` profile input)."""
+        return self._buffer.words
+
+    def delta_nbytes(self) -> int:
+        """Footprint of the delta store's matrices."""
+        return self._buffer.nbytes()
+
+    def delta_data(self) -> np.ndarray:
+        """The live delta records as an ``(n, n_attrs)`` int32 array (in
+        tid order — the persistence sidecar's replay payload)."""
+        return self._buffer.data[: self._buffer.n_rows][self._buffer.live_bool()]
+
     def coverage_guaranteed(self, query: LocalizedQuery, dq_size: int) -> bool:
-        """Whether results for this query are provably complete."""
+        """Whether results for this query are provably complete.
+
+        An itemset absent from the main index had global support below
+        ``primary_support * |D_main|`` at build time (an upper bound that
+        deletes only tighten) and can have gained at most the live delta
+        since — so nothing reachable is missed whenever the focal minimum
+        count clears that sum.
+        """
         floor = self.primary_support * self.n_main_records
         return query.minsupp * dq_size >= floor + self.n_delta_records
 
     # -- mutation --------------------------------------------------------------
 
+    def _validated(self, records: Sequence[Sequence[int]]) -> np.ndarray:
+        """One batched shape/domain check over the whole append."""
+        try:
+            batch = np.asarray(records, dtype=np.int32)
+        except (TypeError, ValueError) as exc:
+            raise DataError(
+                f"records must form a rectangular integer array: {exc}"
+            ) from None
+        n_attrs = self.schema.n_attributes
+        if batch.size == 0:
+            return batch.reshape(0, n_attrs)
+        if batch.ndim != 2 or batch.shape[1] != n_attrs:
+            shape = batch.shape[1:] if batch.ndim == 2 else batch.shape
+            raise DataError(
+                f"record has shape {tuple(shape)}, expected ({n_attrs},)"
+            )
+        cards = np.asarray(self.schema.cardinalities(), dtype=np.int64)
+        if int(batch.min()) < 0 or bool((batch >= cards[None, :]).any()):
+            raise DataError("record value outside its attribute domain")
+        return batch
+
     def append(self, records: Sequence[Sequence[int]]) -> None:
-        """Append records (rows of value indices) to the delta buffer."""
-        cards = self.schema.cardinalities()
-        for record in records:
-            row = np.asarray(record, dtype=np.int32)
-            if row.shape != (self.schema.n_attributes,):
-                raise DataError(
-                    f"record has shape {row.shape}, expected "
-                    f"({self.schema.n_attributes},)"
-                )
-            if row.min() < 0 or np.any(row >= np.asarray(cards)):
-                raise DataError("record value outside its attribute domain")
-            self._delta_rows.append(row)
+        """Append records (rows of value indices) to the delta store.
+
+        Validation is one batched ndarray check; ingest is the
+        vectorized :meth:`DeltaBuffer.append`.  A first-class generation
+        event: caches, memoized plan choices, and serving coalescing all
+        go stale atomically with the data change.
+        """
+        batch = self._validated(records)
+        if len(batch) == 0:
+            return
+        self._buffer.append(batch)
+        if self._recomp is not None:
+            self._recomp.log.append(("append", batch.copy()))
+        self.index.bump_generation()
         if (
             self.auto_rebuild
-            and self.n_delta_records > self.max_delta_fraction * self.n_main_records
+            and self._recomp is None
+            and self.n_delta_records
+            > self.max_delta_fraction * self.n_main_records
         ):
             self.rebuild()
 
-    def rebuild(self) -> None:
-        """Fold the delta into the main table and rebuild the index."""
-        if not self._delta_rows:
+    def delete(self, tids: Sequence[int]) -> None:
+        """Tombstone live records by global tid.
+
+        Main tids (``< n_main_records``) are masked out of every focal
+        subset; delta tids clear their ``live`` bit.  Idempotent per tid;
+        out-of-range tids raise :class:`~repro.errors.DataError`.
+        """
+        tids = np.asarray(tids, dtype=np.int64).ravel()
+        if tids.size == 0:
             return
-        data = np.vstack([self.index.table.data, np.vstack(self._delta_rows)])
-        self.index = build_mip_index(
+        total = self.n_main_records + self._buffer.n_rows
+        if int(tids.min()) < 0 or int(tids.max()) >= total:
+            raise DataError(f"tid outside the record universe [0, {total})")
+        self._apply_delete(tids)
+        if self._recomp is not None:
+            self._recomp.log.append(("delete", tids.copy()))
+        self.index.bump_generation()
+
+    def _apply_delete(self, tids: np.ndarray) -> None:
+        n_main = self.n_main_records
+        main_ids = tids[tids < n_main]
+        delta_ids = tids[tids >= n_main] - n_main
+        if len(main_ids):
+            self._main_dead |= ts.from_array(main_ids)
+            self._main_dead_count = ts.count(self._main_dead)
+            self._main_dead_packed = None
+        if len(delta_ids):
+            self._buffer.delete_local(delta_ids)
+
+    # -- folding ---------------------------------------------------------------
+
+    def _live_data(self) -> np.ndarray:
+        main = self.index.table.data
+        if self._main_dead_count:
+            main = main[self._main_live_mask()]
+        delta = self._buffer.data[: self._buffer.n_rows][self._buffer.live_bool()]
+        return np.vstack([main, delta]) if len(delta) else np.ascontiguousarray(main)
+
+    def _main_live_mask(self) -> np.ndarray:
+        mask = np.ones(self.n_main_records, dtype=bool)
+        if self._main_dead_count:
+            dead = np.fromiter(
+                ts.iter_tids(self._main_dead),
+                dtype=np.int64,
+                count=self._main_dead_count,
+            )
+            mask[dead] = False
+        return mask
+
+    def rebuild(self) -> None:
+        """Fold the live delta and tombstones into a fresh index, now.
+
+        The new index re-bases its generation lineage one past the old
+        one's, so every stamp issued against any prior state stays stale.
+        """
+        if self._buffer.n_rows == 0 and not self._main_dead_count:
+            return
+        if self._recomp is not None:
+            raise DataError("cannot rebuild while a recompaction is in flight")
+        data = self._live_data()
+        old_generation = self.index.generation
+        start = time.perf_counter()
+        index = build_mip_index(
             RelationalTable(self.schema, data), self.primary_support
         )
-        self._delta_rows = []
+        self.last_build_s = time.perf_counter() - start
+        index.clock.base = old_generation + 1
+        self._adopt(index)
         self.n_rebuilds += 1
 
-    # -- queries ------------------------------------------------------------------
+    def begin_recompaction(self) -> bool:
+        """Start folding the live data into a fresh index off the hot path.
 
-    def query(self, query: LocalizedQuery) -> list[Rule]:
-        """Answer a localized query over main + delta, exactly.
+        Snapshots the live main+delta rows, then builds the replacement
+        index — flat-compiled, i.e. format-v2 ready — on a daemon thread
+        while reads keep serving the current generation.  Mutations that
+        land mid-build accumulate normally *and* are recorded in an op
+        log for replay at install time.  Returns ``True`` if a build was
+        started (``False``: nothing to fold, or one is already running).
+        """
+        if self._recomp is not None:
+            return False
+        if self._buffer.n_rows == 0 and not self._main_dead_count:
+            return False
+        state = _Recompaction(self._main_live_mask(), self._buffer.live_bool())
+        data = np.vstack([
+            self.index.table.data[state.main_live],
+            self._buffer.data[: self._buffer.n_rows][state.delta_live],
+        ])
+        schema, primary = self.schema, self.primary_support
 
-        Candidate itemsets come from the main index (SEARCH + ELIMINATE
-        with delta-corrected counts); every support count is
-        ``stored ∩ D^Q`` plus a scan of the matching delta records.
+        def build() -> None:
+            start = time.perf_counter()
+            try:
+                state.result = build_mip_index(
+                    RelationalTable(schema, data), primary
+                )
+            except Exception as exc:  # surfaced by poll_recompaction
+                state.error = exc
+            state.build_s = time.perf_counter() - start
+
+        state.thread = threading.Thread(
+            target=build, name="colarm-recompact", daemon=True
+        )
+        self._recomp = state
+        state.thread.start()
+        return True
+
+    def poll_recompaction(self, wait: bool = False) -> int | None:
+        """Install a finished background fold; ``None`` while it runs.
+
+        On install: the fresh index takes over with its lineage re-based
+        past the old generation, a fresh delta store is created, and the
+        op log of mid-build mutations is replayed with old→new tid
+        translation (records dead at snapshot time are simply gone).
+        Returns the new generation.  A failed build raises its error
+        (the old state stays fully serviceable).
+        """
+        state = self._recomp
+        if state is None:
+            return None
+        if wait:
+            state.thread.join()
+        if state.thread.is_alive():
+            return None
+        self._recomp = None
+        if state.error is not None:
+            raise state.error
+        old_generation = self.index.generation
+        old_n_main = self.n_main_records
+        snap_rows = len(state.delta_live)
+        # Old→new tid maps over the snapshot's live records: position in
+        # the compacted table is the live-rank (cumsum) of the old tid.
+        main_map = np.cumsum(state.main_live) - 1
+        n_from_main = int(state.main_live.sum())
+        delta_map = (np.cumsum(state.delta_live) - 1) + n_from_main
+        index = state.result
+        index.clock.base = old_generation + 1
+        self.last_build_s = state.build_s
+        self._adopt(index)
+        self.n_recompactions += 1
+        for op, payload in state.log:
+            if op == "append":
+                self._buffer.append(payload)
+                continue
+            translated: list[int] = []
+            for tid in payload.tolist():
+                if tid < old_n_main:
+                    if state.main_live[tid]:
+                        translated.append(int(main_map[tid]))
+                elif tid - old_n_main < snap_rows:
+                    j = tid - old_n_main
+                    if state.delta_live[j]:
+                        translated.append(int(delta_map[j]))
+                else:
+                    # Appended mid-build: replayed into the new delta
+                    # store in log order, so its local position is its
+                    # old position minus the snapshot's row count.
+                    translated.append(
+                        self.n_main_records + (tid - old_n_main - snap_rows)
+                    )
+            if translated:
+                self._apply_delete(np.asarray(translated, dtype=np.int64))
+        return self.index.generation
+
+    def recompact(self) -> int | None:
+        """Synchronous fold through the background machinery (begin, wait,
+        install); returns the new generation or ``None`` if nothing to do."""
+        if not self.begin_recompaction():
+            return None
+        return self.poll_recompaction(wait=True)
+
+    # -- queries ---------------------------------------------------------------
+
+    def delta_view(self, query: LocalizedQuery) -> DeltaView | None:
+        """Per-query delta read view, or ``None`` when the index is
+        pristine (no delta rows, no tombstones) — the pure main path."""
+        if self._buffer.n_rows == 0 and not self._main_dead_count:
+            return None
+        view = DeltaView(
+            self._buffer,
+            self._buffer.focal_row(query.range_selections),
+            self._packed_dead(),
+            self._main_dead_count,
+        )
+        if view.dq_size == 0 and view.main_dead_packed is None:
+            return None
+        return view
+
+    def _packed_dead(self) -> np.ndarray | None:
+        if not self._main_dead_count:
+            return None
+        if self._main_dead_packed is None:
+            self._main_dead_packed = kernels.pack(
+                self._main_dead, self.index.tidset_words
+            )
+        return self._main_dead_packed
+
+    def query(
+        self,
+        query: LocalizedQuery,
+        plan: PlanKind = PlanKind.SEV,
+        expand: bool = False,
+        parallel=None,
+    ) -> list[Rule]:
+        """Answer a localized query over live main+delta on the kernel path.
+
+        Runs the requested plan through the ordinary operator pipeline
+        with this delta store attached: stored counts come off the flat
+        R-tree and the batched AND+popcount kernels exactly as for an
+        immutable index, and the delta corrections are vectorized
+        partials.  An empty focal subset answers ``[]``.
+        """
+        query.validate_against(self.schema)
+        if self._focal_empty(query):
+            return []
+        return execute_plan(
+            plan, self.index, query, expand=expand, parallel=parallel,
+            delta=self,
+        ).rules
+
+    def _focal_empty(self, query: LocalizedQuery) -> bool:
+        dq = self.index.table.tids_matching(query.range_selections)
+        if ts.count(dq & ~self._main_dead):
+            return False
+        if self._buffer.n_rows:
+            row = self._buffer.focal_row(query.range_selections)
+            return int(kernels.popcount_rows(row[None, :])[0]) == 0
+        return True
+
+    def query_scalar(
+        self, query: LocalizedQuery, expand: bool = False
+    ) -> list[Rule]:
+        """The pre-kernel scalar main+delta path, kept as the oracle and
+        benchmark baseline.
+
+        Candidate itemsets come from the main index's pointer R-tree;
+        every support count is a per-item big-int AND over the live main
+        focal tidset **plus a per-record Python loop** over the matching
+        delta records — the cliff the array-native path removes.  Rule
+        *statistics* are exact; output agrees with :meth:`query` under
+        the coverage guarantee.
         """
         query.validate_against(self.schema)
         focal = query.focal_range(self.index.cardinalities)
-        dq_main = self.index.table.tids_matching(query.range_selections)
-        delta_rows = self._matching_delta(query)
+        dq_main = (
+            self.index.table.tids_matching(query.range_selections)
+            & ~self._main_dead
+        )
+        live = self._buffer.live_bool()
+        delta_rows = [
+            row
+            for row, alive in zip(self._buffer.data[: self._buffer.n_rows], live)
+            if alive
+            and all(
+                int(row[ai]) in values
+                for ai, values in query.range_selections.items()
+            )
+        ]
         dq_size = ts.count(dq_main) + len(delta_rows)
         if dq_size == 0:
             return []
         min_count = min_count_for(query.minsupp, dq_size)
+        item_tidsets = self.index.table.item_tidsets()
 
         def delta_count(items: Itemset) -> int:
             return sum(
@@ -160,43 +800,48 @@ class MaintainedIndex:
                 if all(row[item.attribute] == item.value for item in items)
             )
 
-        cache: dict[Itemset, int | None] = {}
+        cache: dict[Itemset, int] = {}
 
-        def local_count(items: Itemset) -> int | None:
+        def local_count(items: Itemset) -> int:
             if items not in cache:
-                stored = self.index.ittree.local_support_count(items, dq_main)
-                cache[items] = (
-                    None if stored is None else stored + delta_count(items)
-                )
+                mask = dq_main
+                for item in items:
+                    mask &= item_tidsets.get(item, 0)
+                    if not mask:
+                        break
+                cache[items] = ts.count(mask) + delta_count(items)
             return cache[items]
 
-        from repro.core.query import Overlap
-
         hull = focal.hull()
-        candidates = []
+        candidates: list[Itemset] = []
         for entry in self.index.rtree.search(hull).entries:
             mip = entry.payload
             if focal.classify(mip.box) is Overlap.DISJOINT:
                 continue
-            if query.item_attributes is not None and not all(
+            if not expand and query.item_attributes is not None and not all(
                 item.attribute in query.item_attributes
                 for item in mip.itemset
             ):
                 continue
-            total = ts.count(mip.tidset & dq_main) + delta_count(mip.itemset)
-            if total >= min_count:
-                cache[mip.itemset] = total
+            if local_count(mip.itemset) >= min_count:
                 candidates.append(mip.itemset)
+        if not expand:
+            sources: list[Itemset] = candidates
+        else:
+            family: set[Itemset] = set()
+            for itemset in candidates:
+                allowed = make_itemset(
+                    item
+                    for item in itemset
+                    if query.item_attributes is None
+                    or item.attribute in query.item_attributes
+                )
+                n = len(allowed)
+                for mask in range(1, 1 << n):
+                    family.add(
+                        tuple(allowed[i] for i in range(n) if mask >> i & 1)
+                    )
+            sources = sorted(family)
         return rules_from_itemsets(
-            candidates, local_count, dq_size, query.minsupp, query.minconf
+            sources, local_count, dq_size, query.minsupp, query.minconf
         )
-
-    def _matching_delta(self, query: LocalizedQuery) -> list[np.ndarray]:
-        out = []
-        for row in self._delta_rows:
-            if all(
-                int(row[ai]) in values
-                for ai, values in query.range_selections.items()
-            ):
-                out.append(row)
-        return out

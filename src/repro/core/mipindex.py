@@ -10,7 +10,7 @@ statistics the optimizer consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 
 import numpy as np
@@ -25,7 +25,28 @@ from repro.itemsets.ittree import ClosedITTree
 from repro.rtree.rtree import DEFAULT_MAX_ENTRIES
 from repro.rtree.supported import SupportedRTree
 
-__all__ = ["MIPIndex", "build_mip_index"]
+__all__ = ["GenerationClock", "MIPIndex", "build_mip_index"]
+
+
+class GenerationClock:
+    """Mutable generation state carried by an (otherwise frozen) index.
+
+    ``base`` seats the index in a monotone lineage: a recompacted index
+    starts at the predecessor's final generation plus one, so stamps
+    issued against any earlier index of the lineage can never collide
+    with the new one's.  ``ticks`` counts logical mutations that do not
+    touch the R-tree — delta-store appends and tombstone deletes — which
+    must invalidate caches, memoized profiles, and serving coalesce
+    windows exactly like structural tree mutations, *without* flipping
+    the flat-compile currency check (that compares the tree's own
+    mutation counter, which delta ticks deliberately leave alone).
+    """
+
+    __slots__ = ("base", "ticks")
+
+    def __init__(self, base: int = 0, ticks: int = 0):
+        self.base = base
+        self.ticks = ticks
 
 
 @dataclass(frozen=True)
@@ -38,6 +59,9 @@ class MIPIndex:
     rtree: SupportedRTree
     ittree: ClosedITTree
     stats: IndexStatistics
+    clock: GenerationClock = field(
+        default_factory=GenerationClock, repr=False, compare=False
+    )
 
     @property
     def n_mips(self) -> int:
@@ -66,14 +90,25 @@ class MIPIndex:
 
     @property
     def generation(self) -> int:
-        """The index's invalidation token: the R-tree mutation counter.
+        """The index's invalidation token.
 
-        Every structural mutation bumps it; the cache, the optimizer's
-        plan choices, and the serving layer's coalescing all stamp their
-        products with it so nothing computed against an older tree is
-        ever served against a newer one.
+        The sum of the lineage base, the logical mutation ticks (delta
+        appends/deletes, bumped via :meth:`bump_generation`), and the
+        R-tree's structural mutation counter.  Every mutation of any kind
+        bumps it; the cache, the optimizer's plan choices, and the
+        serving layer's coalescing all stamp their products with it so
+        nothing computed against an older state is ever served against a
+        newer one.
         """
-        return self.rtree.tree.mutations
+        return self.clock.base + self.clock.ticks + self.rtree.tree.mutations
+
+    def bump_generation(self) -> int:
+        """Record one logical (non-structural) mutation; returns the new
+        generation.  Used by the delta store: query-visible state changed
+        but the R-tree did not, so the flat compile stays current while
+        every generation-stamped product goes stale."""
+        self.clock.ticks += 1
+        return self.generation
 
     @property
     def tidset_words(self) -> int:

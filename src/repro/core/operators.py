@@ -200,10 +200,19 @@ class QueryContext:
     index: MIPIndex
     query: LocalizedQuery
     focal: FocalRange
-    dq: int            # focal-subset tidset
-    dq_size: int       # |D^Q|
+    dq: int            # focal-subset tidset (live main records only)
+    dq_size: int       # |D^Q| (main live + delta live)
     min_count: int     # ceil(minsupp * |D^Q|)
     expand: bool       # expand candidates to all locally frequent itemsets
+    #: ``|D^Q ∩ main_live|`` — the main-universe share of ``dq_size``
+    #: (equal to ``dq_size`` whenever no delta store is attached; the
+    #: ``-1`` default resolves to ``dq_size`` in ``__post_init__``).
+    main_dq_size: int = -1
+    #: Attached delta-store read view
+    #: (:class:`repro.core.maintenance.DeltaView`; ``None`` = immutable
+    #: index).  When present, ``dq`` is already masked to live main
+    #: records and every operator adds the view's vectorized corrections.
+    delta: "object | None" = field(default=None, repr=False)
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
     projection_s: float = 0.0  # one-off focal-projection build time
     #: Sharded-execution handle (None = serial).  Operators *try* it for
@@ -224,6 +233,10 @@ class QueryContext:
     _dq_packed: np.ndarray | None = field(default=None, repr=False)
     _focal_kernel: "kernels.FocalKernel | None" = field(default=None, repr=False)
 
+    def __post_init__(self) -> None:
+        if self.main_dq_size < 0:
+            self.main_dq_size = self.dq_size
+
     def packed_dq(self) -> np.ndarray:
         """The focal tidset as a packed kernel row (computed once)."""
         if self._dq_packed is None:
@@ -240,9 +253,19 @@ class QueryContext:
         if self._focal_kernel is None:
             start = time.perf_counter()
             matrix, row_of = self.index.table.item_matrix()
-            self._focal_kernel = kernels.FocalKernel(
-                matrix, row_of, self.packed_dq(), self.dq_size
+            main_kernel = kernels.FocalKernel(
+                matrix, row_of, self.packed_dq(), self.main_dq_size
             )
+            if self.delta is not None:
+                # Delta-aware queries count through the combined kernel:
+                # the main projection spans the live main focal subset,
+                # the delta view's kernel spans the delta focal subset,
+                # and every support is their exact elementwise sum.
+                self._focal_kernel = kernels.CombinedFocalKernel(
+                    main_kernel, self.delta.kernel()
+                )
+            else:
+                self._focal_kernel = main_kernel
             self.projection_s += time.perf_counter() - start
         return self._focal_kernel
 
@@ -259,18 +282,31 @@ def make_context(
     query: LocalizedQuery,
     expand: bool = False,
     parallel: "ParallelContext | None" = None,
+    delta: "object | None" = None,
 ) -> QueryContext:
     """Resolve the focal subset and thresholds (the shared query setup).
 
     Computing ``D^Q``'s tidset and size is needed by every plan (even the
     thresholds depend on ``|D^Q|``), so it is traced as a common ``FOCUS``
     step rather than attributed to any single plan's operators.
+
+    ``delta`` optionally attaches a
+    :class:`repro.core.maintenance.MaintainedIndex`: the main focal
+    tidset is masked to live records (tombstones disappear from every
+    packed-dq count for free) and the per-query delta view rides the
+    context so the operators add their vectorized corrections.
     """
     query.validate_against(index.table.schema)
     start = time.perf_counter()
     focal = query.focal_range(index.cardinalities)
     dq = index.table.tids_matching(query.range_selections)
-    dq_size = ts.count(dq)
+    view = None
+    if delta is not None:
+        view = delta.delta_view(query)
+        if view is not None:
+            dq &= ~delta.main_dead
+    main_dq_size = ts.count(dq)
+    dq_size = main_dq_size + (view.dq_size if view is not None else 0)
     if dq_size == 0:
         raise QueryError("focal subset is empty; nothing to mine")
     min_count = min_count_for(query.minsupp, dq_size)
@@ -282,6 +318,8 @@ def make_context(
         dq_size=dq_size,
         min_count=min_count,
         expand=expand,
+        main_dq_size=main_dq_size,
+        delta=view,
         parallel=parallel,
     )
     ctx.trace.add(
@@ -315,8 +353,17 @@ def op_supported_search(ctx: QueryContext) -> CandidateArray:
 
     Entries (and whole subtrees) whose global count cannot reach
     ``minsupp * |D^Q|`` are pruned during the tree descent (Section 4.3).
+
+    With a delta store attached the stored global counts no longer bound
+    the combined local count — a candidate can gain up to the delta focal
+    size — so the prune threshold relaxes by exactly that bound (deletes
+    need no relaxation: they only shrink live counts, keeping stored
+    counts valid upper bounds).
     """
-    return _search(ctx, name="SUPPORTED-SEARCH", min_count=ctx.min_count)
+    min_count = ctx.min_count
+    if ctx.delta is not None and ctx.delta.dq_size:
+        min_count = max(min_count - ctx.delta.dq_size, 1)
+    return _search(ctx, name="SUPPORTED-SEARCH", min_count=min_count)
 
 
 def _search(ctx: QueryContext, name: str, min_count: int | None) -> CandidateArray:
@@ -447,6 +494,12 @@ def _qualify_candidates(
                     ctx.index.mip_tidset_matrix.take(rows, axis=0),
                     ctx.packed_dq(),
                 )
+            if ctx.delta is not None:
+                # Exact delta correction, one AND+popcount row-gather over
+                # the delta store's per-MIP matrix (``packed_dq`` is
+                # already masked to live main records, so the main share
+                # needs no tombstone adjustment).
+                counts = counts + ctx.delta.mip_counts(rows)
         else:
             counts = np.zeros(0, dtype=np.int64)
         qualifies = counts >= ctx.min_count
@@ -472,6 +525,8 @@ def _qualify_candidates(
             (mip.row for mip, _ in checked), dtype=np.intp, count=len(checked)
         )
         counts = kernels.and_count(matrix[rows], ctx.packed_dq())
+        if ctx.delta is not None:
+            counts = counts + ctx.delta.mip_counts(rows)
         qualified = [
             (mip, int(local))
             for (mip, _), local in zip(checked, counts)
@@ -480,6 +535,8 @@ def _qualify_candidates(
     else:
         for mip, _overlap in checked:
             local = mip.local_count(ctx.dq)
+            if ctx.delta is not None:
+                local += ctx.delta.itemset_count(mip.itemset)
             if local >= ctx.min_count:
                 qualified.append((mip, local))
     return qualified, len(checked)
@@ -524,14 +581,39 @@ def qualified_from_contained(
     record-level work (only the cheap Aitem filter applies outside
     expanded mode).  On the array path the global counts ride along from
     the supported R-tree's leaf level, so this is a masked copy.
+
+    With a delta store attached the lemma still holds per universe —
+    every record supporting a contained MIP's itemset lies inside the
+    focal region, stored or appended — but the stored count must shed
+    tombstoned records and gain the delta partial, and the relaxed
+    SUPPORTED-SEARCH no longer guarantees the corrected count reaches
+    ``min_count``, so the threshold is re-checked.  All three steps are
+    batched kernel calls.
     """
     if isinstance(contained, CandidateArray):
         keep = _aitem_mask(ctx, contained.rows)
-        return QualifiedArray(
-            ctx.index,
-            contained.rows[keep],
-            contained.global_counts[keep].astype(np.int64),
-        )
+        rows = contained.rows[keep]
+        counts = contained.global_counts[keep].astype(np.int64)
+        if ctx.delta is not None:
+            if ctx.delta.main_dead_packed is not None and len(rows):
+                counts = counts - ctx.delta.dead_counts(
+                    ctx.index.mip_tidset_matrix.take(rows, axis=0)
+                )
+            counts = counts + ctx.delta.mip_counts(rows)
+            qualifies = counts >= ctx.min_count
+            rows, counts = rows[qualifies], counts[qualifies]
+        return QualifiedArray(ctx.index, rows, counts)
+    if ctx.delta is not None:
+        out: list[Qualified] = []
+        for mip, _ in contained:
+            if not (ctx.expand or ctx.aitem_allows(mip.itemset)):
+                continue
+            local = mip.local_count(ctx.dq) + ctx.delta.itemset_count(
+                mip.itemset
+            )
+            if local >= ctx.min_count:
+                out.append((mip, local))
+        return out
     return [
         (mip, mip.global_count)
         for mip, _ in contained
@@ -724,10 +806,18 @@ def _rules_from_qualified(
         t0 = time.perf_counter()
         counts = None
         if ctx.parallel is not None:
+            # The shard pool counts over the *main* universe (its workers
+            # hold the main item matrix), so it gets the main focal size;
+            # the delta lattice — a handful of words per row — adds on
+            # top as one vectorized elementwise sum.
             counts = ctx.parallel.count_subset_lattice(
-                group, ctx.packed_dq(), ctx.dq_size
+                group, ctx.packed_dq(), ctx.main_dq_size
             )
             if counts is not None:
+                if ctx.delta is not None:
+                    counts = counts + ctx.delta.kernel().count_subset_lattice(
+                        group
+                    )
                 ctx.sharded_calls += 1
                 # Same accounting as the serial kernel: one evaluation per
                 # non-empty sub-itemset of each source.
@@ -901,9 +991,21 @@ def op_union(
 
 
 def op_select(ctx: QueryContext) -> RelationalTable:
-    """SELECT: extract the focal subset's records into a new table."""
+    """SELECT: extract the focal subset's records into a new table.
+
+    With a delta store attached, the matching live delta records stack
+    under the main extraction — the ARM plan then mines the combined
+    focal subset from scratch, denominators included, with no further
+    delta awareness.
+    """
     start = time.perf_counter()
     sub = ctx.index.table.subset(ctx.dq)
+    if ctx.delta is not None:
+        extra = ctx.delta.records()
+        if len(extra):
+            sub = RelationalTable(
+                sub.schema, np.vstack([sub.data, extra])
+            )
     ctx.trace.add(
         OperatorTrace(
             name="SELECT",

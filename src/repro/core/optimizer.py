@@ -27,7 +27,12 @@ from repro.core.query import LocalizedQuery
 from repro.errors import QueryError
 from repro.itemsets.apriori import min_count_for
 
-__all__ = ["EstimateResidual", "PlanChoice", "ColarmOptimizer"]
+__all__ = [
+    "EstimateResidual",
+    "PlanChoice",
+    "RecompactionAdvice",
+    "ColarmOptimizer",
+]
 
 
 #: Estimate-tie preference: supported before unsupported, fused before
@@ -71,6 +76,27 @@ class EstimateResidual:
         """log(estimated / measured); 0 = perfect, >0 = overestimate."""
         return math.log(max(self.estimated_s, 1e-12) /
                         max(self.measured_s, 1e-12))
+
+
+@dataclass(frozen=True)
+class RecompactionAdvice:
+    """Priced answer to "should the maintained index fold its delta now?".
+
+    ``toll_s`` is the per-query overhead the live delta adds to the
+    query's cheapest delta-free MIP plan (the ``delta_probe`` /
+    ``delta_merge`` terms at the fitted weights); folding pays off once
+    that toll, accumulated over the expected ``horizon`` of queries
+    before the next fold, exceeds the build cost.
+    """
+
+    recommended: bool
+    toll_s: float            # per-query delta overhead at the fitted weights
+    build_cost_s: float      # estimated cost of one recompaction
+    horizon: int             # queries expected before the next fold
+
+    @property
+    def amortized_build_s(self) -> float:
+        return self.build_cost_s / max(self.horizon, 1)
 
 
 @dataclass(frozen=True)
@@ -183,6 +209,12 @@ class ColarmOptimizer:
         #: entry can serve, and logs the probe outcome in
         #: :attr:`cache_ledger`.
         self.cache = None
+        #: Delta-store source (a :class:`repro.core.maintenance.
+        #: MaintainedIndex`, None = immutable index); installed by
+        #: ``Colarm.enable_maintenance``.  While set, :meth:`profile_for`
+        #: prices the combined live main+delta focal subset and attaches
+        #: the delta load-term inputs to the profile.
+        self.delta_source = None
         #: Hit/miss/pick outcomes of every cache probe made by
         #: :meth:`choose` — the measurement ledger's cache section.
         self.cache_ledger: dict[str, int] = {
@@ -215,6 +247,28 @@ class ColarmOptimizer:
         """Install (or clear) the materialized-result cache to price."""
         self.cache = cache
 
+    def set_delta(self, source) -> None:
+        """Install (or clear) the maintained-index delta source.
+
+        While set, profiles are built over the *live* main+delta focal
+        subset and carry the delta sizes the cost model's
+        ``delta_probe``/``delta_merge`` terms are computed from.  No memo
+        flush is needed: delta mutations bump the index generation, which
+        is part of the memo key.
+        """
+        self.delta_source = source
+
+    def rebind_index(self, index: MIPIndex) -> None:
+        """Point the optimizer at a freshly recompacted (or rebuilt) index.
+
+        Rebuilds the cost model on the new index statistics and drops the
+        profile memo; weights, risk factor, and the installed parallel /
+        cache / delta companions are kept.
+        """
+        self.index = index
+        self.cost_model = CostModel(index.stats, self.cost_model.weights)
+        self._profile_memo.clear()
+
     def profile_for(self, query: LocalizedQuery) -> QueryProfile:
         """Resolve the focal subset and build the query's cost profile.
 
@@ -235,7 +289,27 @@ class ColarmOptimizer:
         query.validate_against(self.index.table.schema)
         focal = query.focal_range(self.index.cardinalities)
         dq = self.index.table.tids_matching(query.range_selections)
-        dq_size = ts.count(dq)
+        delta_view = (
+            self.delta_source.delta_view(query)
+            if self.delta_source is not None
+            else None
+        )
+        delta_records = delta_dq = delta_words = 0
+        if delta_view is not None:
+            # Mask tombstoned main records and extend the focal subset by
+            # the live delta rows — the combined |D^Q| every plan answers
+            # over, so min_count and all cardinality estimates line up
+            # with the maintained execution.
+            source = self.delta_source
+            dq &= ~source.main_dead
+            delta_dq = delta_view.dq_size
+            delta_words = delta_view.buffer.words
+            delta_records = (
+                source.n_delta_records
+                + source.n_main_records
+                - source.n_main_live
+            )
+        dq_size = ts.count(dq) + delta_dq
         if dq_size == 0:
             raise QueryError("focal subset is empty; nothing to optimize")
         min_count = min_count_for(query.minsupp, dq_size)
@@ -251,6 +325,9 @@ class ColarmOptimizer:
             min_count,
             item_local_tidsets=item_tidsets,
             dq=dq,
+            delta_records=delta_records,
+            delta_dq_size=delta_dq,
+            delta_words=delta_words,
         )
         self._profile_memo[memo_key] = profile
         if len(self._profile_memo) > _PROFILE_MEMO_MAX:
@@ -331,6 +408,59 @@ class ColarmOptimizer:
             cached_estimates=cached_estimates,
             cache_probe=cache_probe,
             generation=self.index.generation,
+        )
+
+    def recompaction_advice(
+        self,
+        query: LocalizedQuery,
+        build_cost_s: float,
+        horizon: int = 100,
+    ) -> RecompactionAdvice:
+        """Price rebuild-vs-accumulate for the maintained index.
+
+        The per-query *toll* is the price of the delta load terms
+        (``delta_probe``/``delta_merge``) on the query's cheapest
+        **delta-free** MIP plan — the plan the workload would run on a
+        freshly folded index.  Folding is recommended once the toll,
+        accumulated over ``horizon`` queries, exceeds ``build_cost_s``
+        (use the maintained index's measured ``last_build_s``, or a
+        calibration estimate, for the latter).
+
+        Ranking on the delta-free prices is deliberate: with
+        ``delta_probe = inf`` (the CI gate's forcing function) every
+        delta-laden MIP variant prices to infinity, and ranking on the
+        laden prices would dodge the toll by "choosing" ARM — the stripped
+        ranking keeps the toll attached to the plan actually at stake, so
+        an infinite probe weight always recommends folding while a live
+        delta exists.
+        """
+        profile = self.profile_for(query)
+        if profile.delta_records <= 0:
+            return RecompactionAdvice(
+                recommended=False,
+                toll_s=0.0,
+                build_cost_s=build_cost_s,
+                horizon=horizon,
+            )
+        base_prices = {}
+        for kind in PlanKind:
+            if kind is PlanKind.ARM:
+                continue
+            loads = self.cost_model.loads(kind, profile)
+            loads.pop("delta_probe", None)
+            loads.pop("delta_merge", None)
+            base_prices[kind] = self.weights.price(loads)
+        kind = min(
+            base_prices, key=lambda k: (base_prices[k], _TIE_PREFERENCE[k])
+        )
+        toll = self.weights.price(
+            self.cost_model.delta_loads(kind, profile)
+        )
+        return RecompactionAdvice(
+            recommended=toll * horizon > build_cost_s,
+            toll_s=toll,
+            build_cost_s=build_cost_s,
+            horizon=horizon,
         )
 
     # -- estimate-vs-actual feedback ----------------------------------------

@@ -38,12 +38,21 @@ from repro.errors import DataError, IndexError_
 from repro.itemsets.rules import Rule
 from repro.rtree.flat import FlatRTree
 
-__all__ = ["save_index", "load_index", "save_cache", "load_cache"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "save_cache",
+    "load_cache",
+    "save_maintained",
+    "load_maintained",
+    "delta_sidecar_path",
+]
 
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
 _FLAT_PREFIX = "flat_"
 _CACHE_FORMAT_VERSION = 1
+_MAINT_FORMAT_VERSION = 1
 
 
 def save_index(
@@ -275,6 +284,114 @@ def _attach_flat(
         )
     except IndexError_ as exc:
         raise DataError(f"{path}: corrupt flat R-tree arrays: {exc}") from exc
+
+
+def delta_sidecar_path(path: str | Path) -> Path:
+    """The delta sidecar conventionally stored next to the index file
+    (``x.colarm.npz`` -> ``x.colarm.delta.npz``)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        return path.with_suffix(".delta.npz")
+    return Path(str(path) + ".delta.npz")
+
+
+def save_maintained(
+    maintained,
+    path: str | Path,
+    weights: CostWeights | None = None,
+    compress: bool = True,
+) -> None:
+    """Write a maintained index: the main index ``.npz`` plus a delta
+    sidecar at :func:`delta_sidecar_path`.
+
+    The main file is a plain :func:`save_index` archive — loadable on its
+    own by a reader that does not care about the un-folded mutations.  The
+    sidecar stores only the *logical* delta state (live delta records,
+    tombstoned main tids, the generation), not the packed matrices:
+    :func:`load_maintained` replays it through the vectorized append /
+    delete path, which rebuilds the matrices deterministically.  Refuses
+    to save while a background recompaction is in flight (poll it first —
+    the op log is thread state, not data).
+    """
+    from repro import tidset as ts
+
+    if maintained.recompacting:
+        raise DataError(
+            "cannot save while a recompaction is in flight; "
+            "poll_recompaction(wait=True) first"
+        )
+    path = Path(path)
+    save_index(maintained.index, path, weights=weights, compress=compress)
+    meta = {
+        "maintenance_format_version": _MAINT_FORMAT_VERSION,
+        "generation": maintained.generation,
+        "max_delta_fraction": maintained.max_delta_fraction,
+        "auto_rebuild": maintained.auto_rebuild,
+        "n_main_records": maintained.n_main_records,
+    }
+    sidecar = delta_sidecar_path(path)
+    sidecar.parent.mkdir(parents=True, exist_ok=True)
+    savez = np.savez_compressed if compress else np.savez
+    savez(
+        sidecar,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        delta_records=maintained.delta_data(),
+        main_dead=np.asarray(ts.to_list(maintained.main_dead), dtype=np.int64),
+    )
+
+
+def load_maintained(path: str | Path):
+    """Load a maintained index saved by :func:`save_maintained`.
+
+    Returns ``(maintained, weights)``.  The main index loads through the
+    verified :func:`load_index` path; the sidecar's tombstones and delta
+    records then replay through the maintained mutation path (one
+    vectorized batch each), and the generation clock is advanced to the
+    saved generation so cross-restart stamps (e.g. a priced
+    :class:`~repro.core.optimizer.PlanChoice`) can never falsely validate.
+    A missing sidecar is an error — load the main file with
+    :func:`load_index` when the delta state is intentionally dropped.
+    """
+    from repro.core.maintenance import MaintainedIndex
+
+    path = Path(path)
+    sidecar = delta_sidecar_path(path)
+    try:
+        archive = np.load(sidecar)
+    except (OSError, ValueError) as exc:
+        raise DataError(f"cannot read delta sidecar {sidecar}: {exc}") from exc
+    try:
+        meta = json.loads(bytes(archive["meta"]).decode())
+        delta_records = archive["delta_records"]
+        main_dead = archive["main_dead"]
+    except KeyError as exc:
+        raise DataError(f"{sidecar}: missing field {exc} — not a delta sidecar")
+    if meta.get("maintenance_format_version") != _MAINT_FORMAT_VERSION:
+        raise DataError(
+            f"{sidecar}: unsupported maintenance format version "
+            f"{meta.get('maintenance_format_version')}"
+        )
+    index, weights = load_index(path)
+    if index.table.n_records != int(meta["n_main_records"]):
+        raise DataError(
+            f"{sidecar}: sidecar was taken over {meta['n_main_records']} "
+            f"main records but the index file holds "
+            f"{index.table.n_records} — the files do not belong together"
+        )
+    maintained = MaintainedIndex.from_index(
+        index,
+        max_delta_fraction=float(meta["max_delta_fraction"]),
+        auto_rebuild=False,  # the replay batches must land verbatim
+    )
+    if len(main_dead):
+        maintained.delete([int(t) for t in main_dead])
+    if len(delta_records):
+        maintained.append(delta_records)
+    maintained.auto_rebuild = bool(meta["auto_rebuild"])
+    saved_generation = int(meta["generation"])
+    if maintained.generation < saved_generation:
+        index.clock.base += saved_generation - maintained.generation
+    return maintained, weights
 
 
 def save_cache(

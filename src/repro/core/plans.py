@@ -83,6 +83,7 @@ def execute_plan(
     query: LocalizedQuery,
     expand: bool = False,
     parallel=None,
+    delta=None,
 ) -> PlanResult:
     """Run one plan end to end and return its rules plus instrumentation.
 
@@ -91,9 +92,15 @@ def execute_plan(
     across its worker pool when the work clears the break-even point
     (identical rules either way — the shard merges are exact and every
     sharded call has a serial fallback).
+
+    ``delta`` optionally attaches a
+    :class:`repro.core.maintenance.MaintainedIndex`; all six plans then
+    answer over live main+delta with vectorized delta corrections (see
+    :func:`repro.core.operators.make_context`).
     """
     start = time.perf_counter()
-    ctx = make_context(index, query, expand=expand, parallel=parallel)
+    ctx = make_context(index, query, expand=expand, parallel=parallel,
+                       delta=delta)
     rules = _PLAN_BODIES[kind](ctx)
     elapsed = time.perf_counter() - start
     return PlanResult(

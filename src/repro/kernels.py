@@ -60,7 +60,9 @@ __all__ = [
     "and_reduce",
     "is_zero_rows",
     "project_rows",
+    "set_bits",
     "FocalKernel",
+    "CombinedFocalKernel",
 ]
 
 #: Bits per matrix word.
@@ -275,6 +277,24 @@ def project_rows(matrix: np.ndarray, mask_row: np.ndarray) -> np.ndarray:
     sel = _unpack_bits(mask_row).astype(bool)
     bits = _unpack_bits(np.atleast_2d(matrix))
     return _pack_bits(bits[:, sel])
+
+
+def set_bits(row: np.ndarray, positions: np.ndarray) -> None:
+    """Set the given tid positions in one packed row, in place, vectorized.
+
+    Duplicate positions are fine (OR is idempotent); positions must lie
+    inside the row's universe.  This is the delta-store ingest primitive:
+    appending a batch of records turns into one ``bitwise_or.at`` scatter
+    per affected row instead of a per-record Python loop.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size == 0:
+        return
+    if positions.min() < 0 or positions.max() >= row.shape[-1] * WORD_BITS:
+        raise ValueError("bit position outside the row's universe")
+    words = (positions >> 6).astype(np.intp)
+    bits = np.uint64(1) << (positions & 63).astype(_WORD_DTYPE)
+    np.bitwise_or.at(row, words, bits)
 
 
 class FocalKernel:
@@ -541,3 +561,72 @@ class FocalKernel:
                 self._counts[itemset] = count_
                 out[itemset] = count_
         return out
+
+
+class CombinedFocalKernel:
+    """Two focal kernels — a main-index projection and a delta-store
+    projection — presented as one: every count is the exact sum of the
+    two universes' counts.
+
+    This is how the delta store rides the rule-generation kernel without
+    touching the operators: :class:`~repro.core.operators.QueryContext`
+    hands VERIFY a combined kernel whenever a delta is attached, the mask
+    recurrence runs once per universe (main rows are ``|D^Q_main|/64``
+    words, delta rows a handful of words), and the two int64 lattices add
+    elementwise — one vectorized partial, no per-record Python loops.
+
+    ``seed`` is a deliberate no-op: qualified candidates arrive with
+    *combined* local counts, which belong to neither underlying universe;
+    seeding either kernel with them would corrupt its memo, and the seed
+    is only ever a cache (``FocalKernel.seed`` documents first-write-wins
+    semantics), so dropping it costs at most a few re-evaluations.
+    """
+
+    def __init__(self, main: FocalKernel, delta: FocalKernel):
+        self.main = main
+        self.delta = delta
+        self.dq_size = main.dq_size + delta.dq_size
+
+    @property
+    def evaluations(self) -> int:
+        return self.main.evaluations + self.delta.evaluations
+
+    def nbytes(self) -> int:
+        return self.main.nbytes() + self.delta.nbytes()
+
+    def seed(self, itemset: tuple, count: int) -> None:
+        """No-op (see class docstring): combined counts are not seedable."""
+
+    def count(self, itemset: tuple) -> int:
+        return self.main.count(itemset) + self.delta.count(itemset)
+
+    def count_subset_lattice(self, itemsets: Sequence[tuple]) -> np.ndarray:
+        return self.main.count_subset_lattice(
+            itemsets
+        ) + self.delta.count_subset_lattice(itemsets)
+
+    def frequent_subsets(
+        self,
+        itemsets: Sequence[tuple],
+        floor: int,
+        min_width: int = 2,
+    ) -> list[tuple]:
+        """Distinct sub-itemsets whose *combined* support reaches ``floor``.
+
+        A sub-itemset's delta contribution is at most ``|D^Q_delta|``, so
+        every combined-frequent sub-itemset clears the main floor relaxed
+        by that bound; discovery runs on the main kernel at the relaxed
+        floor and the caller's exact combined-count filter (the lattice
+        extraction's ``min_count``) discards any over-admitted subset.
+        Under the coverage guarantee the relaxed floor stays >= 1, so
+        itemsets absent from the main index can never qualify — exactly
+        the guarantee's contract.
+        """
+        relaxed = max(int(floor) - self.delta.dq_size, 1)
+        return self.main.frequent_subsets(itemsets, relaxed, min_width)
+
+    def count_family(self, family: Iterable[tuple]) -> dict[tuple, int]:
+        family = list(family)
+        self.main.count_family(family)
+        self.delta.count_family(family)
+        return {itemset: self.count(itemset) for itemset in family}

@@ -414,7 +414,48 @@ class QueryService:
         out["inflight_groups"] = len(self._inflight)
         if self.engine.parallel is not None:
             out["parallel"] = self.engine.parallel.snapshot()
+        if self.engine.maintenance is not None:
+            m = self.engine.maintenance
+            out["maintenance"] = {
+                "generation": m.generation,
+                "delta_records": m.n_delta_records,
+                "main_live": m.n_main_live,
+                "recompacting": m.recompacting,
+            }
         return out
+
+    # -- ingest-while-serving ----------------------------------------------
+
+    async def ingest(self, records) -> int:
+        """Append records through the engine's delta store.
+
+        Runs on a worker thread *under the engine lock*, so a batch lands
+        atomically between flights: every execution sees either none or
+        all of it, and the generation bump invalidates priced choices and
+        cache entries from before the append.  Returns the new index
+        generation.  Requires ``engine.enable_maintenance()``.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is stopped")
+        loop = asyncio.get_running_loop()
+
+        def run() -> int:
+            with self._engine_lock:
+                return self.engine.append(records)
+
+        return await loop.run_in_executor(self._executor, run)
+
+    async def remove(self, tids) -> int:
+        """Tombstone records by tid; same locking contract as :meth:`ingest`."""
+        if self._closed:
+            raise ServiceClosedError("service is stopped")
+        loop = asyncio.get_running_loop()
+
+        def run() -> int:
+            with self._engine_lock:
+                return self.engine.delete(tids)
+
+        return await loop.run_in_executor(self._executor, run)
 
     # -- request intake ----------------------------------------------------
 

@@ -18,6 +18,7 @@ from collections.abc import Iterable, Iterator
 __all__ = [
     "EMPTY",
     "from_tids",
+    "from_array",
     "full",
     "singleton",
     "count",
@@ -51,6 +52,29 @@ def from_tids(tids: Iterable[int]) -> int:
             buf.extend(b"\x00" * (byte + 1 - len(buf)))
         buf[byte] |= 1 << bit
     return int.from_bytes(buf, "little")
+
+
+def from_array(tids) -> int:
+    """Build a tidset from a numpy array of record ids, vectorized.
+
+    The array-native sibling of :func:`from_tids` for batch mutation
+    paths (delta-store tombstones and matches arrive as index arrays):
+    one ``packbits`` over a boolean universe instead of a Python loop.
+    Accepts anything ``np.asarray`` takes; duplicates are fine.
+    """
+    import numpy as np
+
+    tids = np.asarray(tids, dtype=np.int64).ravel()
+    if tids.size == 0:
+        return EMPTY
+    if tids.min() < 0:
+        raise ValueError("tid must be non-negative")
+    n_bits = int(tids.max()) + 1
+    n_bytes = -(-n_bits // 8)
+    bits = np.zeros(n_bytes * 8, dtype=np.uint8)
+    bits[tids] = 1
+    return int.from_bytes(np.packbits(bits, bitorder="little").tobytes(),
+                          "little")
 
 
 def full(n_records: int) -> int:

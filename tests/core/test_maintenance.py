@@ -138,6 +138,242 @@ def test_many_appends_random_equivalence():
         assert rule_key(mx.query(query)) == rule_key(expected), step
 
 
+def test_append_bumps_generation(maintained):
+    """Every delta mutation must advance the logical generation — the
+    staleness token every cache entry and priced choice is stamped with."""
+    _, mx = maintained
+    g0 = mx.generation
+    mx.append(make_new_records(3, seed=21))
+    g1 = mx.generation
+    assert g1 > g0
+    mx.delete([0])
+    assert mx.generation > g1
+    # ...without knocking queries off the flat R-tree fast path.
+    assert mx.flat_rtree_current
+
+
+def test_cache_staleness_append_between_populate_and_probe():
+    """Regression for the staleness hole: a cache entry populated before
+    an append must not be served after it — the append bumps the
+    generation, the probe drops the stale entry, and the fresh answer
+    reflects the delta."""
+    table = make_random_table(seed=119, n_records=90,
+                              cardinalities=(4, 3, 3, 2))
+    from repro.core.engine import Colarm
+
+    engine = Colarm(table, primary_support=0.05)
+    engine.enable_cache(calibrate=False)
+    engine.enable_maintenance(calibrate=False)
+    engine.query(QUERY, plan=PlanKind.SEV)       # populates the cache
+    assert engine.cache.probe(QUERY).kind == "rules"
+
+    new_records = make_new_records(6, seed=31)
+    engine.append(new_records)
+    assert engine.cache.probe(QUERY).kind is None  # stale entry dropped
+
+    combined = RelationalTable(
+        table.schema,
+        np.vstack([table.data, np.asarray(new_records, dtype=np.int32)]),
+    )
+    fresh = build_mip_index(combined, primary_support=0.05)
+    expected = execute_plan(PlanKind.SEV, fresh, QUERY).rules
+    got = engine.query(QUERY, plan=PlanKind.SEV)
+    assert not got.cached
+    assert rule_key(got.rules) == rule_key(expected)
+    # The delta-corrected answer repopulated the cache at the new
+    # generation; the repeat serves it byte-identically.
+    again = engine.query(QUERY, plan=PlanKind.SEV)
+    assert again.cached
+    assert rule_key(again.rules) == rule_key(expected)
+
+
+def test_delete_matches_rebuild_of_live_subset(maintained):
+    table, mx = maintained
+    new = make_new_records(6, seed=13)
+    mx.append(new)
+    # Tombstone two main records and one delta record (tid 80+2 = delta 2).
+    mx.delete([3, 17, 82])
+    assert mx.n_main_live == 78
+    assert mx.n_delta_records == 5
+    live_main = np.delete(table.data, [3, 17], axis=0)
+    live_delta = np.asarray(new, dtype=np.int32)[[0, 1, 3, 4, 5]]
+    fresh = build_mip_index(
+        RelationalTable(table.schema, np.vstack([live_main, live_delta])),
+        primary_support=0.05,
+    )
+    expected = execute_plan(PlanKind.SEV, fresh, QUERY).rules
+    assert rule_key(mx.query(QUERY)) == rule_key(expected)
+    # Deletes are idempotent; repeating them changes nothing but the clock.
+    mx.delete([3, 82])
+    assert mx.n_main_live == 78 and mx.n_delta_records == 5
+    assert rule_key(mx.query(QUERY)) == rule_key(expected)
+
+
+def test_batched_append_validation_is_all_or_nothing(maintained):
+    """The batched validation admits no partial writes: one bad row
+    rejects the whole batch before anything lands in the delta store."""
+    _, mx = maintained
+    g0 = mx.generation
+    with pytest.raises(DataError):
+        mx.append([[0, 0, 0, 0], [1, 1]])          # ragged batch
+    with pytest.raises(DataError):
+        mx.append([[0, 0, 0, 0], [0, 9, 0, 0]])    # out-of-domain value
+    with pytest.raises(DataError):
+        mx.append([[0, 0, 0, -1]])                 # negative value
+    with pytest.raises(DataError):
+        mx.append([["a", "b", "c", "d"]])          # non-integer payload
+    assert mx.n_delta_records == 0
+    assert mx.generation == g0
+
+
+def test_delta_buffer_grows_as_packed_matrices(maintained):
+    """The delta store is one growable 2-D array per matrix (amortized
+    doubling), not a list of per-record rows."""
+    _, mx = maintained
+    buf = mx._buffer
+    assert isinstance(buf.data, np.ndarray) and buf.data.ndim == 2
+    assert isinstance(buf.items, np.ndarray) and buf.items.ndim == 2
+    assert buf.items.dtype == np.dtype("<u8")
+    start_capacity = buf.capacity
+    mx.append(make_new_records(start_capacity + 1, seed=55))
+    assert mx._buffer.capacity >= 2 * start_capacity
+    assert mx._buffer.n_live == start_capacity + 1
+    # Capacity growth keeps the packed columns word-aligned.
+    assert mx._buffer.items.shape[1] == -(-mx._buffer.capacity // 64)
+
+
+def test_background_recompaction_with_interleaved_mutations(maintained):
+    """Appends and deletes racing a background fold land in the op log and
+    survive the install — the final state equals a from-scratch build."""
+    table, mx = maintained
+    mx.append(make_new_records(8, seed=61))
+    before = rule_key(mx.query(QUERY))
+    assert mx.begin_recompaction()
+    # Mutations while the fold is in flight:
+    late = make_new_records(4, seed=62)
+    mx.append(late)
+    mx.delete([2, 81])  # one main record, one pre-snapshot delta record
+    generation = mx.poll_recompaction(wait=True)
+    assert generation is not None and mx.generation == generation
+    assert not mx.recompacting
+
+    rows = [table.data]
+    delta = np.asarray(make_new_records(8, seed=61), dtype=np.int32)
+    rows.append(np.delete(delta, [1], axis=0))  # tid 81 = delta pos 1
+    live_main = np.delete(table.data, [2], axis=0)
+    combined = np.vstack([live_main, np.delete(delta, [1], axis=0),
+                          np.asarray(late, dtype=np.int32)])
+    fresh = build_mip_index(
+        RelationalTable(table.schema, combined), primary_support=0.05
+    )
+    expected = execute_plan(PlanKind.SEV, fresh, QUERY).rules
+    assert rule_key(mx.query(QUERY)) == rule_key(expected)
+    assert rule_key(mx.query(QUERY)) != before or before == rule_key(expected)
+
+
+def test_engine_append_delete_and_background_fold():
+    """Colarm.append/delete ride the delta store; outgrowing the fraction
+    starts a background fold that the next query installs, rebinding the
+    optimizer and cache to the fresh index."""
+    from repro.core.engine import Colarm
+
+    table = make_random_table(seed=127, n_records=80,
+                              cardinalities=(4, 3, 3, 2))
+    engine = Colarm(table, primary_support=0.05)
+    engine.enable_cache(calibrate=False)
+    engine.enable_maintenance(max_delta_fraction=0.1, calibrate=False)
+    old_index = engine.index
+
+    gen = engine.append(make_new_records(5, seed=71))
+    assert gen == engine.index.generation
+    engine.delete([0])
+    assert engine.maintenance.n_main_live == 79
+    # 5 appends + 1 tombstone < 10% of 80: no fold yet.
+    assert not engine.maintenance.recompacting and engine.index is old_index
+
+    engine.append(make_new_records(4, seed=72))  # 10 mutations > 8: fold
+    engine.maintenance.poll_recompaction(wait=True)
+    outcome = engine.query(QUERY)  # installs the finished fold
+    assert engine.index is not old_index
+    assert engine.index is engine.maintenance.index
+    assert engine.optimizer.index is engine.index
+    assert engine.cache.index is engine.index
+    assert engine.maintenance.n_delta_records == 0
+    assert engine.index.table.n_records == 88  # 80 - 1 dead + 9 appended
+
+    combined = engine.index.table
+    fresh = build_mip_index(combined, primary_support=0.05)
+    expected = execute_plan(PlanKind.SEV, fresh, QUERY).rules
+    assert rule_key(execute_plan(
+        PlanKind.SEV, engine.index, QUERY,
+        delta=engine.maintenance).rules) == rule_key(expected)
+    assert outcome.n_rules >= 0  # the install path returned a live answer
+
+
+def test_maintained_persistence_roundtrip(tmp_path, maintained):
+    """save_maintained/load_maintained: the sidecar replays tombstones and
+    delta records and restores the generation clock."""
+    from repro.core.persistence import (
+        delta_sidecar_path,
+        load_maintained,
+        save_maintained,
+    )
+
+    _, mx = maintained
+    mx.append(make_new_records(6, seed=91))
+    mx.delete([5, 82])
+    before = rule_key(mx.query(QUERY))
+    path = tmp_path / "m.colarm.npz"
+    save_maintained(mx, path)
+    assert delta_sidecar_path(path).exists()
+
+    loaded, _weights = load_maintained(path)
+    assert loaded.generation == mx.generation
+    assert loaded.n_main_records == mx.n_main_records
+    assert loaded.n_main_live == mx.n_main_live
+    assert loaded.n_delta_records == mx.n_delta_records
+    assert rule_key(loaded.query(QUERY)) == before
+
+
+def test_service_ingest_is_serialized_with_queries():
+    """QueryService.ingest lands batches atomically between flights."""
+    import asyncio
+
+    from repro.core.engine import Colarm
+    from repro.serving import QueryService, ServingConfig
+
+    table = make_random_table(seed=131, n_records=80,
+                              cardinalities=(4, 3, 3, 2))
+    engine = Colarm(table, primary_support=0.05)
+    engine.enable_maintenance(calibrate=False)
+
+    async def scenario():
+        async with QueryService(engine, ServingConfig(workers=2)) as svc:
+            first = await svc.submit(QUERY)
+            gen = await svc.ingest(make_new_records(6, seed=81))
+            assert gen == engine.index.generation
+            second = await svc.submit(QUERY)
+            gen2 = await svc.remove([1])
+            assert gen2 > gen
+            third = await svc.submit(QUERY)
+            snap = svc.snapshot()
+            return first, second, third, snap
+
+    first, second, third, snap = asyncio.run(scenario())
+    assert snap["maintenance"]["delta_records"] == 6
+    assert snap["maintenance"]["main_live"] == 79
+    live = np.vstack([
+        np.delete(table.data, [1], axis=0),
+        np.asarray(make_new_records(6, seed=81), dtype=np.int32),
+    ])
+    fresh = build_mip_index(
+        RelationalTable(table.schema, live), primary_support=0.05
+    )
+    expected = execute_plan(PlanKind.SEV, fresh, QUERY).rules
+    assert rule_key(third.rules) == rule_key(expected)
+    assert first.rules is not None and second.rules is not None
+
+
 def test_flat_form_tracks_index_lifecycle(maintained):
     """The maintained index's hull searches use the flat traversal while
     current, fall back (never stale) after direct R-tree mutations, and a

@@ -15,11 +15,13 @@ Usage::
     ... --config ci_gates.json --report benchmarks/results/ci_gates.json
     ... --only serving            # run a single gate
     ... --override-weight arm=0   # sanity check: must FAIL the gate
-    ... --only serving --corrupt-admission   # likewise: must FAIL
+    ... --only serving --corrupt-admission       # likewise: must FAIL
+    ... --only maintenance --corrupt-maintenance # likewise: must FAIL
 
 ``--override-weight`` deliberately corrupts one fitted weight after
-calibration and ``--corrupt-admission`` mis-wires the serving layer's
-admission knobs; they exist so the gates themselves can be tested (a
+calibration, ``--corrupt-admission`` mis-wires the serving layer's
+admission knobs, and ``--corrupt-maintenance`` severs the delta-store
+merge correction; they exist so the gates themselves can be tested (a
 gate that cannot fail gates nothing).
 """
 
@@ -324,7 +326,170 @@ def run_serving_selftest(config: dict, corrupt: bool = False) -> dict:
     }
 
 
-_GATES = ("acc", "parallel", "cache", "serving")
+def run_maintenance_selftest(config: dict, corrupt: bool = False) -> dict:
+    """Delta-store maintenance sanity: staleness, pricing, byte-identity.
+
+    A live engine (cache + maintenance enabled) over a probe workload is
+    mutated in place — a batch append plus a couple of deletes — and held
+    to three structural assertions:
+
+    * **Staleness** — the warm pass populates a cache entry for every
+      probe; the append bumps the index generation, so every subsequent
+      probe must MISS.  A regression that stops stamping delta mutations
+      into the generation clock (serving pre-append rules from the
+      cache) fails here.
+    * **Pricing** — ``delta_probe = inf`` makes the per-query delta toll
+      infinite, so :meth:`recompaction_advice` must recommend folding
+      for **every** probe while un-folded delta exists; restored default
+      weights against an astronomically large build cost must recommend
+      it for **none**.  A regression that drops the delta terms from the
+      cost formulae (making un-folded delta look free forever) fails the
+      first; one that prices rebuilds as free fails the second.
+    * **Byte-identity** — every coverage-guaranteed probe answered
+      against main + delta must equal a from-scratch rebuild of the live
+      records, rule for rule, support count for support count.
+
+    ``corrupt=True`` severs the delta merge correction (the engine serves
+    main-only answers while the delta still holds live records) and must
+    FAIL — a gate that cannot fail gates nothing.
+    """
+    import numpy as np
+
+    from repro.core.calibration import default_probe_queries
+    from repro.core.costs import CostWeights
+    from repro.core.engine import Colarm
+    from repro.core.mipindex import build_mip_index
+    from repro.core.plans import PlanKind, execute_plan
+    from repro.dataset.table import RelationalTable
+    from repro.workloads.experiments import EXPERIMENTS
+
+    spec = EXPERIMENTS[config["dataset"]]
+    table = spec.make_table()
+    t0 = time.perf_counter()
+    # Expanded mode: all plan families agree exactly, so byte-identity
+    # needs no per-plan tolerance.  Default weights suffice: every
+    # assertion is structural (miss / inf / identity).
+    engine = Colarm(table, primary_support=spec.primary_support, expand=True)
+    build_s = time.perf_counter() - t0
+    engine.enable_cache(calibrate=False)
+    # A near-unity delta fraction and a zero advice horizon: no trigger
+    # may fold the delta away mid-gate, or the corrupted run would
+    # trivially pass (a gate that cannot fail gates nothing).
+    engine.enable_maintenance(
+        max_delta_fraction=0.99, calibrate=False, horizon=0
+    )
+    queries = default_probe_queries(
+        engine.index,
+        n_queries=int(config["n_queries"]),
+        seed=int(config["seed"]),
+    )
+
+    for q in queries:  # warm pass: populate a cache entry per probe
+        engine.query(q)
+    warm_hits = sum(
+        1 for q in queries if engine.cache.probe(q).kind is not None
+    )
+
+    n_append = int(config.get("n_append", 48))
+    n_delete = int(config.get("n_delete", 3))
+    appended = [list(map(int, row)) for row in table.data[:n_append]]
+    engine.append(appended)
+    engine.delete(list(range(n_delete)))
+    if corrupt:
+        # Sever the merge correction: delta_view() reporting "no delta"
+        # makes the kernel path serve main-only answers while the delta
+        # still holds live records and main tombstones.
+        engine.maintenance.delta_view = lambda query: None
+    stale_hits = sum(
+        1 for q in queries if engine.cache.probe(q).kind is not None
+    )
+
+    base = dict(engine.optimizer.weights.weights)
+    inf_weights = dict(base)
+    inf_weights["delta_probe"] = float("inf")
+    engine.optimizer.set_weights(CostWeights(inf_weights))
+    inf_recommended = sum(
+        1
+        for q in queries
+        if engine.optimizer.recompaction_advice(
+            q, build_cost_s=1e6, horizon=1
+        ).recommended
+    )
+    engine.optimizer.set_weights(CostWeights(base))
+    finite_recommended = sum(
+        1
+        for q in queries
+        if engine.optimizer.recompaction_advice(
+            q, build_cost_s=1e6, horizon=1
+        ).recommended
+    )
+
+    keep = np.ones(len(table.data), dtype=bool)
+    keep[:n_delete] = False
+    live = np.concatenate(
+        [table.data[keep], np.asarray(appended, dtype=table.data.dtype)]
+    )
+    fresh = build_mip_index(
+        RelationalTable(table.schema, live),
+        primary_support=engine.maintenance.primary_support,
+    )
+
+    def rule_key(rules):
+        return sorted(
+            (r.antecedent, r.consequent, r.support_count,
+             round(r.confidence, 12))
+            for r in rules
+        )
+
+    covered = mismatches = 0
+    for q in queries:
+        mask = np.ones(len(live), dtype=bool)
+        for attr, values in q.range_selections.items():
+            mask &= np.isin(live[:, attr], list(values))
+        dq_live = int(mask.sum())
+        if dq_live == 0 or not engine.maintenance.coverage_guaranteed(
+            q, dq_live
+        ):
+            continue
+        covered += 1
+        expected = rule_key(
+            execute_plan(PlanKind.SEV, fresh, q, expand=True).rules
+        )
+        if rule_key(engine.query(q, use_cache=False).rules) != expected:
+            mismatches += 1
+
+    failures = []
+    if warm_hits != len(queries):
+        failures.append("cache_not_warm_before_append")
+    if stale_hits != 0:
+        failures.append("stale_cache_hit_after_append")
+    if inf_recommended != len(queries):
+        failures.append("inf_delta_probe_did_not_force_recompaction")
+    if finite_recommended != 0:
+        failures.append("default_weights_always_force_recompaction")
+    if covered == 0:
+        failures.append("no_coverage_guaranteed_probes")
+    if mismatches != 0:
+        failures.append("maintained_answers_diverge_from_rebuild")
+    return {
+        "dataset": config["dataset"],
+        "scenarios": len(queries),
+        "build_s": round(build_s, 2),
+        "corrupted": corrupt,
+        "n_append": n_append,
+        "n_delete": n_delete,
+        "warm_hits_before_append": warm_hits,
+        "stale_hits_after_append": stale_hits,
+        "recompact_recommended_at_inf_probe": inf_recommended,
+        "recompact_recommended_at_default": finite_recommended,
+        "identity_covered": covered,
+        "identity_mismatches": mismatches,
+        "passed": not failures,
+        "failures": failures,
+    }
+
+
+_GATES = ("acc", "parallel", "cache", "serving", "maintenance")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -354,6 +519,12 @@ def main(argv: list[str] | None = None) -> int:
         help="mis-wire the serving admission knobs (ceiling 0 -> inf, "
         "aging inf -> 0); the serving self-test must then FAIL",
     )
+    parser.add_argument(
+        "--corrupt-maintenance",
+        action="store_true",
+        help="sever the delta-store merge correction (main-only answers "
+        "with live delta records); the maintenance self-test must then FAIL",
+    )
     args = parser.parse_args(argv)
 
     overrides: dict[str, float] = {}
@@ -381,6 +552,13 @@ def main(argv: list[str] | None = None) -> int:
         if "serving" in config and wanted("serving")
         else None
     )
+    maintenance_report = (
+        run_maintenance_selftest(
+            config["maintenance"], corrupt=args.corrupt_maintenance
+        )
+        if "maintenance" in config and wanted("maintenance")
+        else None
+    )
 
     args.report.parent.mkdir(parents=True, exist_ok=True)
     full_report = dict(report) if report is not None else {}
@@ -390,6 +568,8 @@ def main(argv: list[str] | None = None) -> int:
         full_report["cache_selftest"] = cache_report
     if serving_report is not None:
         full_report["serving_selftest"] = serving_report
+    if maintenance_report is not None:
+        full_report["maintenance_selftest"] = maintenance_report
     args.report.write_text(json.dumps(full_report, indent=2) + "\n")
 
     passed = True
@@ -441,6 +621,20 @@ def main(argv: list[str] | None = None) -> int:
             f"{serving_report['fifo_order_at_inf_aging']}"
             + (" [admission corrupted]" if serving_report["corrupted"] else "")
         )
+    if maintenance_report is not None:
+        passed = passed and maintenance_report["passed"]
+        status = "ok  " if maintenance_report["passed"] else "FAIL"
+        covered = maintenance_report["identity_covered"]
+        identical = covered - maintenance_report["identity_mismatches"]
+        print(
+            f"  {status} maintenance-selftest "
+            f"stale hits={maintenance_report['stale_hits_after_append']}"
+            f" (want 0), inf-probe recompacts="
+            f"{maintenance_report['recompact_recommended_at_inf_probe']}"
+            f" (want {maintenance_report['scenarios']}), "
+            f"identity {identical}/{covered}"
+            + (" [merge corrupted]" if maintenance_report["corrupted"] else "")
+        )
     if passed:
         print("ci-gates: PASS")
         return 0
@@ -451,6 +645,8 @@ def main(argv: list[str] | None = None) -> int:
         failures += cache_report["failures"]
     if serving_report is not None:
         failures += serving_report["failures"]
+    if maintenance_report is not None:
+        failures += maintenance_report["failures"]
     print(f"ci-gates: FAIL ({', '.join(failures)})")
     return 1
 

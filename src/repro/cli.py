@@ -99,8 +99,20 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--top-k", type=int, default=10)
 
     def add_serving_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--workers", type=int, default=2,
-                       help="execution worker threads (default 2)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker service processes; > 1 spawns the "
+                            "mmap-shared cluster with consistent-hash "
+                            "focal routing (default 1: single in-process "
+                            "service)")
+        p.add_argument("--threads", type=int, default=2,
+                       help="execution threads per service (default 2)")
+        p.add_argument("--in-process", action="store_true",
+                       help="with --workers N: route across N services "
+                            "in this process instead of spawning worker "
+                            "processes")
+        p.add_argument("--cluster-dir", default=None,
+                       help="snapshot directory for the cluster's epoch "
+                            "publishes (default: a temporary directory)")
         p.add_argument("--max-pending", type=int, default=64,
                        help="scheduler queue bound (default 64)")
         p.add_argument("--cost-ceiling", type=float, default=float("inf"),
@@ -312,11 +324,58 @@ def _serving_config(args: argparse.Namespace):
 
     return ServingConfig(
         max_pending=args.max_pending,
-        workers=args.workers,
+        workers=args.threads,
         cost_ceiling=args.cost_ceiling,
         over_budget=args.over_budget,
         aging=args.aging,
     )
+
+
+def _cluster_config(args: argparse.Namespace):
+    from repro.cluster import ClusterConfig
+
+    return ClusterConfig(
+        workers=args.workers,
+        serving=_serving_config(args),
+        use_cache=not args.no_cache,
+    )
+
+
+def _make_cluster(engine: Colarm, args: argparse.Namespace):
+    """The cluster behind ``--workers N`` plus the context keeping its
+    snapshot directory alive (a no-op context for an explicit dir)."""
+    import contextlib
+    import tempfile
+
+    from repro.cluster import ClusterService, InProcessCluster
+
+    config = _cluster_config(args)
+    if args.in_process:
+        return InProcessCluster(engine, config), contextlib.nullcontext()
+    if args.cluster_dir is not None:
+        return ClusterService(engine, args.cluster_dir, config), \
+            contextlib.nullcontext()
+    tmp = tempfile.TemporaryDirectory(prefix="colarm-cluster-")
+    return ClusterService(engine, tmp.name, config), tmp
+
+
+def _print_cluster_stats(cluster, worker_stats: list[dict]) -> None:
+    """Per-worker p50/p99 + routing distribution, on stderr."""
+    import json
+
+    snapshot = cluster.snapshot()
+    routed = max(snapshot.get("routed", 0), 1)
+    for stats in worker_stats:
+        wid = stats["worker"]
+        share = snapshot["routing"].get(str(wid), 0) / routed
+        print(
+            f"worker {wid}: {stats.get('served', 0)} served, "
+            f"p50 {stats.get('p50_s', 0.0) * 1000:.1f} ms, "
+            f"p99 {stats.get('p99_s', 0.0) * 1000:.1f} ms, "
+            f"{share:.0%} of routed requests",
+            file=sys.stderr,
+        )
+    print(json.dumps(snapshot), file=sys.stderr)
 
 
 def _serving_engine(args: argparse.Namespace) -> Colarm:
@@ -330,12 +389,13 @@ def _response_json(served, engine: Colarm, limit: int | None = None) -> str:
     import json
 
     rules = served.rules if limit is None else served.rules[:limit]
+    trace = served.trace
     return json.dumps({
         "ok": True,
         "plan": served.plan.value,
         "n_rules": len(served.rules),
         "rules": [rule.render(engine.schema) for rule in rules],
-        "trace": served.trace.as_dict(),
+        "trace": trace if isinstance(trace, dict) else trace.as_dict(),
     })
 
 
@@ -358,7 +418,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def run() -> int:
         loop = asyncio.get_running_loop()
-        service = QueryService(engine, _serving_config(args))
+        cluster_mode = args.workers > 1
+        if cluster_mode:
+            service, directory = _make_cluster(engine, args)
+        else:
+            service, directory = (
+                QueryService(engine, _serving_config(args)), None
+            )
         pending: set[asyncio.Task] = set()
 
         async def one(line_no: int, text: str) -> None:
@@ -366,6 +432,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 served = await service.submit(text)
                 payload = json.loads(_response_json(served, engine))
                 payload["line"] = line_no
+                if cluster_mode:
+                    payload["worker"] = served.worker
+                    payload["epoch"] = served.epoch
                 print(json.dumps(payload), flush=True)
             except ServiceError as exc:
                 print(json.dumps({
@@ -388,7 +457,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 task.add_done_callback(pending.discard)
             if pending:
                 await asyncio.gather(*pending)
-        print(json.dumps(service.snapshot()), file=sys.stderr)
+            if cluster_mode:
+                _print_cluster_stats(service, await service.worker_stats())
+        if not cluster_mode:
+            print(json.dumps(service.snapshot()), file=sys.stderr)
+        if directory is not None:
+            with directory:
+                pass  # drop the temporary snapshot directory
         return 0
 
     return asyncio.run(run())
@@ -416,6 +491,38 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         return 2
 
     engine = _serving_engine(args)
+    if args.workers > 1:
+        from repro.cluster import replay_cluster
+
+        async def run_cluster():
+            cluster, directory = _make_cluster(engine, args)
+            async with cluster:
+                results, snapshot = await replay_cluster(cluster, requests)
+                stats = await cluster.worker_stats()
+            if directory is not None:
+                with directory:
+                    pass
+            return results, snapshot, stats, cluster
+
+        results, snapshot, worker_stats, cluster = asyncio.run(run_cluster())
+        n_failed = 0
+        for i, res in enumerate(results, start=1):
+            if isinstance(res, ServiceError):
+                n_failed += 1
+                print(f"[{i}] {type(res).__name__}: {res}")
+            else:
+                print(
+                    f"[{i}] worker {res.worker} plan {res.plan.value} "
+                    f"{'cached ' if res.cached else ''}"
+                    f"{res.trace['total_s'] * 1000:.1f} ms, "
+                    f"{len(res.rules)} rules"
+                )
+                for rule in res.rules[: args.limit]:
+                    print("      " + rule.render(engine.schema))
+        _print_cluster_stats(cluster, worker_stats)
+        print(json.dumps(snapshot, indent=2))
+        return 1 if n_failed == len(results) else 0
+
     results, snapshot = asyncio.run(
         serve_all(engine, requests, _serving_config(args))
     )

@@ -1,0 +1,1112 @@
+"""Multi-process serving cluster: mmap-shared workers, focal-key routing.
+
+One :class:`~repro.serving.QueryService` scales until its engine lock
+saturates a core; this module takes the system past one process.  An
+asyncio **router** fronts ``W`` worker *processes*, each running its own
+service + engine over the *same* format-v2 snapshot opened with
+``load_index(mmap_mode="r")`` — the table's cell matrix, the flat R-tree
+traversal arrays, and the packed kernel matrices are file-backed pages
+every worker on the box shares, so worker ``i`` pays private RSS only
+for its cache/optimizer state and the per-record tidset integers.
+
+Three protocols make the split safe:
+
+* **Consistent-hash focal routing.**  Requests route by a
+  :class:`HashRing` over the canonical focal key
+  (:func:`repro.core.query.canonical_focal_key`) — the same identity the
+  rule cache and request coalescing already share — so identical and
+  related queries land on the same worker and per-worker coalescing +
+  warm-cache locality survive the split.  Join/leave remaps only the
+  keys adjacent to the moved ring points (~``1/W`` of the key space).
+
+* **Epoch publish.**  Exactly one writer (the router's engine) owns the
+  delta store.  :meth:`ClusterService.publish` folds pending mutations,
+  writes ``snapshot-<epoch>.colarm.npz`` with ``compress=False`` (so the
+  members stay mappable), then atomically replaces ``EPOCH.json`` — a
+  reader either sees the old epoch or the complete new one, never a torn
+  snapshot.  Every request is stamped with the minimum epoch it is
+  allowed to be served at; a worker that is behind reloads *before*
+  executing, so a serve at a stale generation is impossible by
+  construction.
+
+* **Crash respawn.**  A reader thread per worker detects EOF on the
+  worker pipe; an unexpected death respawns the worker (bounded by
+  ``max_respawns``) and re-sends its in-flight requests — executions are
+  deterministic, so the retried responses are byte-identical.  A worker
+  past its respawn budget is removed from the ring and its in-flight
+  requests re-route to the survivors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import gc
+import hashlib
+import itertools
+import json
+import multiprocessing as mp
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.engine import Colarm
+from repro.core.persistence import (
+    load_cache,
+    load_index,
+    save_cache,
+    save_index,
+)
+from repro.core.plans import PlanKind, plan_from_name
+from repro.core.query import LocalizedQuery, canonical_focal_key
+from repro.errors import DataError, ServiceClosedError, ServiceError
+from repro.itemsets.rules import Rule
+from repro.serving import QueryService, ServingConfig
+
+__all__ = [
+    "HashRing",
+    "ClusterConfig",
+    "ClusterResponse",
+    "ClusterService",
+    "InProcessCluster",
+    "EpochInfo",
+    "EpochPublisher",
+    "read_epoch",
+    "private_rss_kb",
+]
+
+EPOCH_FILE = "EPOCH.json"
+
+
+# -- consistent hashing ------------------------------------------------------
+
+
+def _point(data: bytes) -> int:
+    """A stable 64-bit ring coordinate.
+
+    ``hash()`` is salted per process, so it cannot place the same key at
+    the same coordinate in the router and in a test harness — blake2b
+    gives process-independent placement for free.
+    """
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring of integer worker ids.
+
+    Each worker owns ``replicas`` pseudo-random points on a 64-bit
+    circle; a key routes to the owner of the first point clockwise from
+    the key's own coordinate.  Adding or removing a worker moves only
+    the keys adjacent to that worker's points — everything else keeps
+    its route, which is what keeps per-worker cache locality alive
+    through membership changes.
+    """
+
+    def __init__(self, replicas: int = 96):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._hashes: list[int] = []       # sorted ring coordinates
+        self._owners: list[int] = []       # worker id at the same slot
+        self._workers: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker_id: int) -> bool:
+        return worker_id in self._workers
+
+    @property
+    def workers(self) -> tuple[int, ...]:
+        return tuple(sorted(self._workers))
+
+    def _points(self, worker_id: int) -> list[int]:
+        return [
+            _point(f"worker-{worker_id}:{r}".encode())
+            for r in range(self.replicas)
+        ]
+
+    def add(self, worker_id: int) -> None:
+        if worker_id in self._workers:
+            raise ValueError(f"worker {worker_id} already on the ring")
+        for h in self._points(worker_id):
+            at = bisect.bisect_left(self._hashes, h)
+            self._hashes.insert(at, h)
+            self._owners.insert(at, worker_id)
+        self._workers.add(worker_id)
+
+    def remove(self, worker_id: int) -> None:
+        if worker_id not in self._workers:
+            raise ValueError(f"worker {worker_id} not on the ring")
+        keep = [
+            (h, w)
+            for h, w in zip(self._hashes, self._owners)
+            if w != worker_id
+        ]
+        self._hashes = [h for h, _ in keep]
+        self._owners = [w for _, w in keep]
+        self._workers.discard(worker_id)
+
+    def route(self, key: bytes) -> int:
+        """The worker owning ``key``; raises when the ring is empty."""
+        if not self._hashes:
+            raise ServiceError("hash ring is empty — no workers")
+        at = bisect.bisect_right(self._hashes, _point(key))
+        if at == len(self._hashes):
+            at = 0
+        return self._owners[at]
+
+
+def _focal_key_bytes(q: LocalizedQuery, cardinalities) -> bytes:
+    """The routing identity: the canonical focal key, stably encoded."""
+    return repr(canonical_focal_key(q.range_selections, cardinalities)).encode()
+
+
+# -- epoch publishing --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EpochInfo:
+    """One published epoch: which snapshot serves it, at what generation."""
+
+    epoch: int
+    snapshot: str
+    generation: int
+    n_records: int
+    expand: bool = False
+    cache: str | None = None
+
+    def snapshot_path(self, directory: Path) -> Path:
+        return Path(directory) / self.snapshot
+
+    def cache_path(self, directory: Path) -> Path | None:
+        return Path(directory) / self.cache if self.cache else None
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "snapshot": self.snapshot,
+            "generation": self.generation,
+            "n_records": self.n_records,
+            "expand": self.expand,
+            "cache": self.cache,
+        }
+
+
+def read_epoch(directory: str | Path) -> EpochInfo | None:
+    """The currently published epoch, or ``None`` before the first publish."""
+    path = Path(directory) / EPOCH_FILE
+    try:
+        meta = json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        raise DataError(f"cannot read epoch file {path}: {exc}") from exc
+    return EpochInfo(
+        epoch=int(meta["epoch"]),
+        snapshot=str(meta["snapshot"]),
+        generation=int(meta["generation"]),
+        n_records=int(meta["n_records"]),
+        expand=bool(meta.get("expand", False)),
+        cache=meta.get("cache"),
+    )
+
+
+class EpochPublisher:
+    """The single-writer side of the epoch-publish protocol.
+
+    Owns the writer engine (and with it the PR-9 delta store).  Each
+    :meth:`publish` folds whatever mutations are pending, writes a fresh
+    uncompressed snapshot — ``compress=False`` is load-bearing: deflated
+    members cannot be memory-mapped, and the whole point of the cluster
+    is that workers share the snapshot's pages — and then atomically
+    replaces ``EPOCH.json`` via a temp file + ``os.replace``, so readers
+    see either the previous epoch or the complete new one.
+    """
+
+    def __init__(self, engine: Colarm, directory: str | Path,
+                 keep_snapshots: int = 2):
+        self.engine = engine
+        self.directory = Path(directory)
+        self.keep_snapshots = max(keep_snapshots, 1)
+        current = read_epoch(self.directory)
+        self.epoch = current.epoch if current is not None else 0
+        self.n_publishes = 0
+
+    def _fold(self) -> None:
+        """Land every pending mutation in the main index."""
+        maintained = self.engine.maintenance
+        if maintained is None:
+            return
+        if maintained.recompacting:
+            maintained.poll_recompaction(wait=True)
+            self.engine.poll_maintenance()
+        pending = maintained.n_delta_records + (
+            maintained.n_main_records - maintained.n_main_live
+        )
+        if pending:
+            maintained.rebuild()
+            self.engine.poll_maintenance()
+
+    def publish(self) -> EpochInfo:
+        """Fold, snapshot, and atomically advance the published epoch."""
+        self._fold()
+        index = self.engine.index
+        if index.rtree.tree.mutations != 0:
+            raise DataError(
+                "cannot publish a structurally mutated index — fold it "
+                "into a fresh build first"
+            )
+        epoch = self.epoch + 1
+        self.directory.mkdir(parents=True, exist_ok=True)
+        snapshot = f"snapshot-{epoch:06d}.colarm.npz"
+        save_index(
+            index,
+            self.directory / snapshot,
+            weights=self.engine.optimizer.weights,
+            compress=False,
+        )
+        cache_name = None
+        cache = self.engine.cache
+        if cache is not None and len(cache._entries):
+            cache_name = f"snapshot-{epoch:06d}.cache.npz"
+            save_cache(cache, self.directory / cache_name, compress=False)
+        info = EpochInfo(
+            epoch=epoch,
+            snapshot=snapshot,
+            generation=index.generation,
+            n_records=index.table.n_records,
+            expand=self.engine.expand,
+            cache=cache_name,
+        )
+        tmp = self.directory / (EPOCH_FILE + ".tmp")
+        tmp.write_text(json.dumps(info.as_dict()))
+        os.replace(tmp, self.directory / EPOCH_FILE)
+        self.epoch = epoch
+        self.n_publishes += 1
+        self._gc(epoch)
+        return info
+
+    def _gc(self, epoch: int) -> None:
+        """Drop snapshots older than the retention window (best effort —
+        a worker mid-reload may still hold the previous epoch open)."""
+        floor = epoch - self.keep_snapshots
+        for path in self.directory.glob("snapshot-*.npz"):
+            try:
+                n = int(path.name.split("-")[1].split(".")[0])
+            except (IndexError, ValueError):
+                continue
+            if n <= floor:
+                try:
+                    path.unlink()  # the glob covers the .cache.npz sidecars too
+                except OSError:
+                    pass
+
+
+# -- configuration / responses ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs for the router and its workers."""
+
+    workers: int = 2                 #: worker processes to spawn
+    serving: ServingConfig = field(default_factory=ServingConfig)
+    replicas: int = 96               #: ring points per worker
+    max_respawns: int = 2            #: crash respawns per worker slot
+    cache_budget_bytes: int = 16 << 20   #: per-worker rule-cache budget
+    use_cache: bool = True           #: workers serve through their cache
+    warm_top_k: int = 8              #: hot focal groups seeded per publish
+    start_method: str | None = None  #: mp start method (None: fork if available)
+    ready_timeout_s: float = 120.0   #: worker must load within this bound
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+
+
+@dataclass
+class ClusterResponse:
+    """One routed response: the rules plus where/when they were served."""
+
+    rules: list[Rule]
+    plan: PlanKind
+    cached: bool
+    worker: int
+    epoch: int
+    generation: int
+    trace: dict
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.rules)
+
+
+def private_rss_kb() -> int | None:
+    """This process's private (unshared) resident set, in KiB.
+
+    Reads ``/proc/self/smaps_rollup`` and sums ``Private_Clean`` +
+    ``Private_Dirty`` — file-backed pages mapped by several processes
+    (the snapshot members under mmap) land in the *Shared* buckets and
+    are deliberately excluded: they cost the box once, not per worker.
+    Returns ``None`` where the proc file is unavailable.
+    """
+    try:
+        text = Path("/proc/self/smaps_rollup").read_text()
+    except OSError:
+        return None
+    total = 0
+    for line in text.splitlines():
+        if line.startswith(("Private_Clean:", "Private_Dirty:")):
+            total += int(line.split()[1])
+    return total
+
+
+def _trim_heap() -> None:
+    """Return freed allocator pages to the OS (best effort, glibc only).
+
+    Loading a snapshot leaves transient peaks (reconstruction buffers,
+    verification copies) parked on the malloc heap; ``malloc_trim``
+    hands the reclaimable tail back so a worker's measured unique RSS
+    reflects what it actually keeps."""
+    gc.collect()
+    try:
+        import ctypes
+
+        ctypes.CDLL(None).malloc_trim(0)
+    except (OSError, AttributeError):  # pragma: no cover - non-glibc
+        pass
+
+
+# -- the worker process ------------------------------------------------------
+
+
+class _WorkerRuntime:
+    """Everything one worker process keeps between requests."""
+
+    def __init__(self, worker_id: int, directory: Path,
+                 config: ClusterConfig):
+        self.worker_id = worker_id
+        self.directory = directory
+        self.config = config
+        self.epoch = 0
+        self.generation = 0
+        self.baseline_rss_kb = private_rss_kb()
+        self.n_reloads = 0
+        self.engine: Colarm | None = None
+        self.service: QueryService | None = None
+        self._reload_lock = asyncio.Lock()
+
+    def _load(self, info: EpochInfo) -> None:
+        """Open one published epoch: mmap the snapshot, warm the cache.
+
+        ``verify="stored"`` because the snapshot came from this cluster's
+        own writer: tidsets are still cross-checked bit-for-bit against
+        the archive's kernel matrices, but no miner runs — the mining
+        heap watermark would otherwise dominate the worker's unique RSS
+        and defeat the point of sharing the index via mmap.
+        """
+        index, weights = load_index(
+            info.snapshot_path(self.directory), mmap_mode="r",
+            verify="stored",
+        )
+        # Continue the published generation lineage: stamps issued here
+        # are comparable with every other worker's and the writer's.
+        index.clock.base = info.generation - index.generation
+        engine = Colarm.from_index(index, weights=weights,
+                                   expand=info.expand)
+        if self.config.use_cache:
+            cache = None
+            cache_path = info.cache_path(self.directory)
+            if cache_path is not None and cache_path.exists():
+                cache = load_cache(cache_path, index, mmap_mode="r")
+            # calibrate=False: cost weights came with the snapshot; a
+            # per-worker refit would make siblings price plans apart.
+            engine.enable_cache(
+                budget_bytes=self.config.cache_budget_bytes,
+                calibrate=False,
+                cache=cache,
+            )
+        self.engine = engine
+        self.service = QueryService(engine, self.config.serving)
+        self.epoch = info.epoch
+        self.generation = info.generation
+        _trim_heap()
+
+    def load_current(self) -> None:
+        info = read_epoch(self.directory)
+        if info is None:
+            raise DataError(
+                f"worker {self.worker_id}: no published epoch in "
+                f"{self.directory}"
+            )
+        self._load(info)
+
+    async def ensure_epoch(self, min_epoch: int) -> None:
+        """Hot-swap to a newer epoch between requests.
+
+        Drains the current service first, so in-flight executions finish
+        against the snapshot they started on; only then does the worker
+        re-point at the new snapshot — a request can never observe half
+        of each.
+        """
+        if self.epoch >= min_epoch:
+            return
+        async with self._reload_lock:
+            if self.epoch >= min_epoch:
+                return
+            info = read_epoch(self.directory)
+            if info is None or info.epoch < min_epoch:
+                raise DataError(
+                    f"worker {self.worker_id}: epoch {min_epoch} required "
+                    f"but {info.epoch if info else None} published"
+                )
+            await self.service.stop(drain=True)
+            self._load(info)
+            await self.service.start()
+            self.n_reloads += 1
+
+    def rss(self) -> dict:
+        current = private_rss_kb()
+        unique = (
+            current - self.baseline_rss_kb
+            if current is not None and self.baseline_rss_kb is not None
+            else None
+        )
+        return {
+            "worker": self.worker_id,
+            "baseline_kb": self.baseline_rss_kb,
+            "private_kb": current,
+            "unique_kb": unique,
+        }
+
+    def stats(self) -> dict:
+        snap = self.service.snapshot() if self.service is not None else {}
+        snap.update(
+            worker=self.worker_id,
+            epoch=self.epoch,
+            generation=self.generation,
+            n_reloads=self.n_reloads,
+        )
+        return snap
+
+
+async def _worker_loop(worker_id: int, conn, directory: Path,
+                       config: ClusterConfig) -> None:
+    runtime = _WorkerRuntime(worker_id, directory, config)
+    runtime.load_current()
+    await runtime.service.start()
+    loop = asyncio.get_running_loop()
+    tasks: set[asyncio.Task] = set()
+    conn.send(("ready", worker_id, runtime.epoch, runtime.generation,
+               runtime.rss()))
+
+    async def serve(req_id: int, query: LocalizedQuery, plan_name,
+                    use_cache: bool, min_epoch: int) -> None:
+        try:
+            await runtime.ensure_epoch(min_epoch)
+            plan = plan_from_name(plan_name) if plan_name else None
+            try:
+                served = await runtime.service.submit(
+                    query, plan=plan, use_cache=use_cache
+                )
+            except ServiceClosedError:
+                # Lost the race with a hot-swap: the drain closed the old
+                # service under us.  Wait the swap out, run on the new one.
+                async with runtime._reload_lock:
+                    pass
+                served = await runtime.service.submit(
+                    query, plan=plan, use_cache=use_cache
+                )
+            conn.send(("ok", req_id, {
+                "rules": served.rules,
+                "plan": served.plan,
+                "cached": served.cached,
+                "trace": served.trace.as_dict(),
+                "worker": worker_id,
+                "epoch": runtime.epoch,
+                "generation": runtime.generation,
+            }))
+        except Exception as exc:  # noqa: BLE001 — the router re-raises it
+            conn.send(("err", req_id, exc))
+
+    while True:
+        try:
+            msg = await loop.run_in_executor(None, conn.recv)
+        except (EOFError, OSError):
+            break
+        tag = msg[0]
+        if tag == "query":
+            task = asyncio.ensure_future(serve(*msg[1:]))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        elif tag == "reload":
+            task = asyncio.ensure_future(runtime.ensure_epoch(msg[1]))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        elif tag == "stats":
+            conn.send(("stats", msg[1], runtime.stats()))
+        elif tag == "rss":
+            conn.send(("rss", msg[1], runtime.rss()))
+        elif tag == "stop":
+            break
+        else:  # pragma: no cover — protocol drift guard
+            conn.send(("err", None, ServiceError(f"unknown message {tag!r}")))
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    if runtime.service is not None:
+        await runtime.service.stop(drain=True)
+    conn.send(("bye", worker_id))
+    conn.close()
+
+
+def _worker_main(worker_id: int, conn, directory: str,
+                 config: ClusterConfig) -> None:
+    # Under the fork start method the child inherits the parent's whole
+    # heap copy-on-write — including the writer engine's tidsets.  Freeze
+    # those inherited objects so the cyclic collector never traverses
+    # (and thereby privately copies) pages this worker will never use;
+    # the worker's own index arrives as a read-only mmap of the snapshot.
+    gc.collect()
+    gc.freeze()
+    try:
+        asyncio.run(_worker_loop(worker_id, conn, Path(directory), config))
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+
+
+# -- the router --------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Router-side state for one worker slot."""
+
+    def __init__(self, worker_id: int):
+        self.id = worker_id
+        self.process = None
+        self.conn = None
+        self.reader: threading.Thread | None = None
+        self.ready: asyncio.Future | None = None
+        self.stopping = False
+        self.respawns = 0
+        self.rss: dict | None = None
+
+
+class _Pending:
+    """One request the router has sent but not yet resolved."""
+
+    __slots__ = ("future", "worker", "message", "key")
+
+    def __init__(self, future, worker, message, key):
+        self.future = future
+        self.worker = worker
+        self.message = message
+        self.key = key
+
+
+class ClusterService:
+    """The asyncio router over ``W`` mmap-shared worker processes.
+
+    Construct with the *writer* engine (the one that owns mutation) and
+    a snapshot directory, ``await start()``, then :meth:`submit` from
+    any number of tasks; ``async with`` does the start/stop pair.  All
+    public methods must be called from the event loop thread.
+    """
+
+    def __init__(self, engine: Colarm, directory: str | Path,
+                 config: ClusterConfig | None = None):
+        self.engine = engine
+        self.directory = Path(directory)
+        self.config = config or ClusterConfig()
+        self.ring = HashRing(self.config.replicas)
+        self.publisher = EpochPublisher(engine, self.directory)
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._pending: dict[int, _Pending] = {}
+        self._req_ids = itertools.count(1)
+        self._min_epoch = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._writer_lock = threading.Lock()
+        self._publish_lock: asyncio.Lock = asyncio.Lock()
+        self._closed = False
+        self._next_slot = 0
+        self.route_counts: dict[int, int] = {}
+        self._hot: dict[bytes, list] = {}   # key -> [count, example query]
+        self.n_crashes = 0
+        self.n_respawns = 0
+        self.n_rerouted = 0
+        if self.config.start_method is not None:
+            self._mp = mp.get_context(self.config.start_method)
+        else:
+            methods = mp.get_all_start_methods()
+            self._mp = mp.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "ClusterService":
+        if self._closed:
+            raise ServiceClosedError("cluster already stopped")
+        self._loop = asyncio.get_running_loop()
+        if self.engine.maintenance is None:
+            # The writer must own a delta store for ingest to have a
+            # fold path; calibration already happened (or was skipped)
+            # upstream — don't re-fit weights here.
+            self.engine.enable_maintenance(calibrate=False)
+        await self._run_writer(self.publisher.publish)
+        self._min_epoch = self.publisher.epoch
+        waits = []
+        for _ in range(self.config.workers):
+            waits.append(self._spawn(self._next_slot))
+            self._next_slot += 1
+        await asyncio.gather(*waits)
+        for handle in self._handles.values():
+            self.ring.add(handle.id)
+            self.route_counts.setdefault(handle.id, 0)
+        return self
+
+    async def stop(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for handle in list(self._handles.values()):
+            await self._stop_worker(handle)
+        for pending in list(self._pending.values()):
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServiceClosedError("cluster stopped")
+                )
+        self._pending.clear()
+
+    async def __aenter__(self) -> "ClusterService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def _stop_worker(self, handle: _WorkerHandle) -> None:
+        handle.stopping = True
+        try:
+            handle.conn.send(("stop",))
+        except (OSError, BrokenPipeError):
+            pass
+        process = handle.process
+        await self._loop.run_in_executor(None, process.join, 30)
+        if process.is_alive():  # pragma: no cover — stuck worker backstop
+            process.terminate()
+            await self._loop.run_in_executor(None, process.join, 5)
+        if handle.reader is not None:
+            await self._loop.run_in_executor(None, handle.reader.join, 5)
+        self._handles.pop(handle.id, None)
+
+    def _spawn(self, worker_id: int) -> asyncio.Future:
+        """Start one worker process; resolves when it reports ready."""
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            handle = _WorkerHandle(worker_id)
+            self._handles[worker_id] = handle
+        parent, child = self._mp.Pipe()
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(worker_id, child, str(self.directory), self.config),
+            name=f"colarm-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        handle.process = process
+        handle.conn = parent
+        handle.stopping = False
+        handle.ready = self._loop.create_future()
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(handle.id, parent),
+            name=f"colarm-router-read-{worker_id}",
+            daemon=True,
+        )
+        handle.reader = reader
+        reader.start()
+        return asyncio.wait_for(
+            asyncio.shield(handle.ready), self.config.ready_timeout_s
+        )
+
+    # -- reader thread -> event loop ---------------------------------------
+
+    def _read_loop(self, worker_id: int, conn) -> None:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                self._loop.call_soon_threadsafe(self._on_eof, worker_id, conn)
+                return
+            self._loop.call_soon_threadsafe(self._on_message, worker_id, msg)
+
+    def _on_message(self, worker_id: int, msg: tuple) -> None:
+        tag = msg[0]
+        handle = self._handles.get(worker_id)
+        if tag == "ready":
+            if handle is not None:
+                handle.rss = msg[4]
+                if handle.ready is not None and not handle.ready.done():
+                    handle.ready.set_result(msg)
+            return
+        if tag == "bye":
+            if handle is not None:
+                handle.stopping = True
+            return
+        if tag in ("ok", "err", "stats", "rss"):
+            pending = self._pending.pop(msg[1], None)
+            if pending is None or pending.future.done():
+                return
+            if tag == "err":
+                pending.future.set_exception(msg[2])
+            else:
+                pending.future.set_result(msg[2])
+
+    def _on_eof(self, worker_id: int, conn) -> None:
+        handle = self._handles.get(worker_id)
+        if handle is None or handle.conn is not conn or handle.stopping:
+            return  # planned shutdown, or a stale pre-respawn pipe
+        self.n_crashes += 1
+        asyncio.ensure_future(self._revive(handle))
+
+    async def _revive(self, handle: _WorkerHandle) -> None:
+        """Respawn a crashed worker (or retire it) and re-drive its load."""
+        orphans = [
+            p for p in self._pending.values() if p.worker == handle.id
+        ]
+        if handle.respawns < self.config.max_respawns:
+            handle.respawns += 1
+            self.n_respawns += 1
+            try:
+                await self._spawn(handle.id)
+            except Exception:
+                await self._retire(handle, orphans)
+                return
+            for pending in orphans:
+                try:
+                    handle.conn.send(pending.message)
+                except (OSError, BrokenPipeError):  # pragma: no cover
+                    pass  # the new pipe died too; the next EOF re-drives
+        else:
+            await self._retire(handle, orphans)
+
+    async def _retire(self, handle: _WorkerHandle, orphans) -> None:
+        """Drop a worker from the ring and re-route its in-flight load."""
+        if handle.id in self.ring:
+            self.ring.remove(handle.id)
+        self._handles.pop(handle.id, None)
+        for pending in orphans:
+            if pending.key is None or len(self.ring) == 0:
+                if not pending.future.done():
+                    pending.future.set_exception(ServiceError(
+                        f"worker {handle.id} died with no successor"
+                    ))
+                self._pending.pop(pending.message[1], None)
+                continue
+            new_worker = self.ring.route(pending.key)
+            pending.worker = new_worker
+            self.n_rerouted += 1
+            try:
+                self._handles[new_worker].conn.send(pending.message)
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                pass  # the successor's EOF handler will re-drive it
+
+    # -- requests ----------------------------------------------------------
+
+    def _send(self, worker_id: int, message: tuple, key: bytes | None):
+        req_id = message[1]
+        future = self._loop.create_future()
+        self._pending[req_id] = _Pending(future, worker_id, message, key)
+        try:
+            self._handles[worker_id].conn.send(message)
+        except (KeyError, OSError, BrokenPipeError):
+            pass  # worker just died; its EOF handler re-drives this request
+        return future
+
+    async def submit(
+        self,
+        request: LocalizedQuery | str,
+        plan: PlanKind | str | None = None,
+        use_cache: bool = True,
+    ) -> ClusterResponse:
+        """Route one request to its focal-key owner and await the answer."""
+        if self._closed:
+            raise ServiceClosedError("cluster is stopped")
+        q = self.engine.parse(request) if isinstance(request, str) else request
+        if isinstance(plan, PlanKind):
+            plan = plan.value
+        key = _focal_key_bytes(q, self.engine.index.cardinalities)
+        worker_id = self.ring.route(key)
+        self.route_counts[worker_id] = self.route_counts.get(worker_id, 0) + 1
+        hot = self._hot.setdefault(key, [0, q])
+        hot[0] += 1
+        req_id = next(self._req_ids)
+        message = ("query", req_id, q, plan, use_cache, self._min_epoch)
+        payload = await self._send(worker_id, message, key)
+        return ClusterResponse(
+            rules=payload["rules"],
+            plan=payload["plan"],
+            cached=payload["cached"],
+            worker=payload["worker"],
+            epoch=payload["epoch"],
+            generation=payload["generation"],
+            trace=payload["trace"],
+        )
+
+    # -- mutation: the single writer ---------------------------------------
+
+    async def _run_writer(self, fn, *args):
+        """Run one writer-engine touch off the loop, serialized."""
+        def locked():
+            with self._writer_lock:
+                return fn(*args)
+        return await self._loop.run_in_executor(None, locked)
+
+    async def ingest(self, records, publish: bool = True) -> int:
+        """Append records through the writer's delta store.
+
+        The mutation becomes query-visible at the next :meth:`publish`
+        (immediately, with ``publish=True``): that is the linearization
+        point of the epoch-publish protocol.  Returns the writer's new
+        generation.
+        """
+        if self._closed:
+            raise ServiceClosedError("cluster is stopped")
+        generation = await self._run_writer(self.engine.append, records)
+        if publish:
+            await self.publish()
+        return generation
+
+    async def remove(self, tids, publish: bool = True) -> int:
+        """Delete records by tid through the writer's delta store."""
+        if self._closed:
+            raise ServiceClosedError("cluster is stopped")
+        generation = await self._run_writer(self.engine.delete, tids)
+        if publish:
+            await self.publish()
+        return generation
+
+    async def publish(self) -> EpochInfo:
+        """Fold + snapshot + advance the epoch, then wake the workers.
+
+        New submissions are stamped with the new epoch the moment this
+        returns, so a worker that has not yet hot-swapped reloads before
+        serving them — the reload broadcast below is a latency
+        optimization, not a correctness requirement.
+        """
+        async with self._publish_lock:
+            info = await self._run_writer(self._publish_locked)
+        self._min_epoch = info.epoch
+        for handle in self._handles.values():
+            if not handle.stopping:
+                try:
+                    handle.conn.send(("reload", info.epoch))
+                except (OSError, BrokenPipeError):  # pragma: no cover
+                    pass
+        return info
+
+    def _publish_locked(self) -> EpochInfo:
+        # Fold *before* seeding: installing a fold rebinds the writer's
+        # cache (dropping every entry), so warming only sticks once the
+        # delta has landed.  publish() re-checks and finds nothing to fold.
+        self.publisher._fold()
+        self._seed_cache()
+        return self.publisher.publish()
+
+    def _seed_cache(self) -> None:
+        """Warm the writer cache with the hottest focal groups, so the
+        published sidecar lets workers start warm after a hot-swap."""
+        if (
+            self.engine.cache is None
+            or self.config.warm_top_k <= 0
+            or not self._hot
+        ):
+            return
+        hottest = sorted(
+            self._hot.items(), key=lambda kv: kv[1][0], reverse=True
+        )
+        for _, (count, query) in hottest[: self.config.warm_top_k]:
+            try:
+                self.engine.query(query, use_cache=True)
+            except Exception:  # pragma: no cover — warmup is best-effort
+                return
+
+    # -- membership --------------------------------------------------------
+
+    async def add_worker(self) -> int:
+        """Join one worker: spawn, wait ready, then take its ring points.
+
+        Only ~``1/(W+1)`` of the key space remaps — and only onto the
+        joiner, so no surviving worker's warm state is disturbed.
+        """
+        if self._closed:
+            raise ServiceClosedError("cluster is stopped")
+        worker_id = self._next_slot
+        self._next_slot += 1
+        await self._spawn(worker_id)
+        self.ring.add(worker_id)
+        self.route_counts.setdefault(worker_id, 0)
+        return worker_id
+
+    async def remove_worker(self, worker_id: int) -> None:
+        """Leave: take the worker off the ring *first* (new requests
+        route around it), then let it drain and exit."""
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            raise ServiceError(f"no worker {worker_id}")
+        if worker_id in self.ring:
+            self.ring.remove(worker_id)
+        await self._stop_worker(handle)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def workers(self) -> tuple[int, ...]:
+        return self.ring.workers
+
+    async def worker_stats(self) -> list[dict]:
+        """Per-worker service snapshots (p50/p99, epoch, reload count)."""
+        futures = []
+        for worker_id in self.workers:
+            req_id = next(self._req_ids)
+            futures.append(
+                self._send(worker_id, ("stats", req_id), None)
+            )
+        return list(await asyncio.gather(*futures))
+
+    async def worker_rss(self) -> list[dict]:
+        """Per-worker private-RSS reports (see :func:`private_rss_kb`)."""
+        futures = []
+        for worker_id in self.workers:
+            req_id = next(self._req_ids)
+            futures.append(
+                self._send(worker_id, ("rss", req_id), None)
+            )
+        return list(await asyncio.gather(*futures))
+
+    def snapshot(self) -> dict:
+        """Router-side counters (per-worker detail is async: use
+        :meth:`worker_stats`)."""
+        total = sum(self.route_counts.values())
+        return {
+            "workers": list(self.workers),
+            "epoch": self.publisher.epoch,
+            "min_epoch": self._min_epoch,
+            "publishes": self.publisher.n_publishes,
+            "routed": total,
+            "routing": {
+                str(w): self.route_counts.get(w, 0) for w in self.workers
+            },
+            "distinct_focal_groups": len(self._hot),
+            "crashes": self.n_crashes,
+            "respawns": self.n_respawns,
+            "rerouted": self.n_rerouted,
+        }
+
+
+# -- in-process fallback -----------------------------------------------------
+
+
+class InProcessCluster:
+    """The cluster's routing surface without processes.
+
+    ``W`` :class:`QueryService` instances over *one* engine, sharing one
+    engine lock, routed through the same :class:`HashRing` — the
+    fallback `colarm replay --workers N --in-process` uses on hosts
+    where spawning worker processes is unwanted.  It measures routing
+    distribution and per-worker service behavior (coalescing, admission,
+    p50/p99), not parallel speedup: every execution still serializes on
+    the single engine lock.
+    """
+
+    def __init__(self, engine: Colarm, config: ClusterConfig | None = None):
+        self.engine = engine
+        self.config = config or ClusterConfig()
+        self.ring = HashRing(self.config.replicas)
+        lock = threading.Lock()
+        self.services = [
+            QueryService(engine, self.config.serving, engine_lock=lock)
+            for _ in range(self.config.workers)
+        ]
+        for worker_id in range(self.config.workers):
+            self.ring.add(worker_id)
+        self.route_counts = {w: 0 for w in range(self.config.workers)}
+
+    async def start(self) -> "InProcessCluster":
+        for service in self.services:
+            await service.start()
+        return self
+
+    async def stop(self) -> None:
+        for service in self.services:
+            await service.stop()
+
+    async def __aenter__(self) -> "InProcessCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def submit(
+        self,
+        request: LocalizedQuery | str,
+        plan: PlanKind | str | None = None,
+        use_cache: bool = True,
+    ) -> ClusterResponse:
+        q = self.engine.parse(request) if isinstance(request, str) else request
+        key = _focal_key_bytes(q, self.engine.index.cardinalities)
+        worker_id = self.ring.route(key)
+        self.route_counts[worker_id] += 1
+        served = await self.services[worker_id].submit(
+            q, plan=plan, use_cache=use_cache
+        )
+        return ClusterResponse(
+            rules=served.rules,
+            plan=served.plan,
+            cached=served.cached,
+            worker=worker_id,
+            epoch=0,
+            generation=self.engine.index.generation,
+            trace=served.trace.as_dict(),
+        )
+
+    async def worker_stats(self) -> list[dict]:
+        stats = []
+        for worker_id, service in enumerate(self.services):
+            snap = service.snapshot()
+            snap.update(worker=worker_id, epoch=0,
+                        generation=self.engine.index.generation,
+                        n_reloads=0)
+            stats.append(snap)
+        return stats
+
+    def snapshot(self) -> dict:
+        total = sum(self.route_counts.values())
+        return {
+            "workers": sorted(self.route_counts),
+            "routed": total,
+            "routing": {str(w): n for w, n in self.route_counts.items()},
+        }
+
+
+async def replay_cluster(cluster, requests) -> tuple[list, dict]:
+    """Submit a workload through a started cluster; gather all responses.
+
+    Mirrors :func:`repro.serving.serve_all`: per-request failures come
+    back as the exception object in the results list, and the second
+    element is the router snapshot taken after the drain.
+    """
+    async def one(req):
+        try:
+            return await cluster.submit(req)
+        except ServiceError as exc:
+            return exc
+
+    results = await asyncio.gather(*(one(r) for r in requests))
+    return list(results), cluster.snapshot()

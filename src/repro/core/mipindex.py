@@ -10,6 +10,7 @@ statistics the optimizer consumes.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -20,7 +21,7 @@ from repro.core.mip import MIP
 from repro.core.stats import IndexStatistics, gather_statistics
 from repro.dataset.table import RelationalTable
 from repro.errors import DataError
-from repro.itemsets.charm import charm
+from repro.itemsets.charm import ClosedItemset, charm
 from repro.itemsets.ittree import ClosedITTree
 from repro.rtree.rtree import DEFAULT_MAX_ENTRIES
 from repro.rtree.supported import SupportedRTree
@@ -139,12 +140,18 @@ def build_mip_index(
     max_entries: int = DEFAULT_MAX_ENTRIES,
     packing: str = "hilbert",
     compile_flat: bool = True,
+    closed: Sequence[ClosedItemset] | None = None,
 ) -> MIPIndex:
     """Run the offline preprocessing phase and return the MIP-index.
 
     ``primary_support`` is the domain-specific floor of footnote 2: queries
     are answered exactly for any ``minsupp * |D^Q| >= primary_support * |D|``;
     itemsets below the floor are only reachable through the ARM plan.
+
+    ``closed`` supplies precomputed closed frequent itemsets (in row
+    order) instead of mining them — the persistence layer's fast load
+    path reconstructs them from a trusted snapshot, where re-running the
+    miner would only rediscover what the file already states.
     """
     if table.n_records == 0:
         raise DataError("cannot build a MIP-index over an empty table")
@@ -152,7 +159,8 @@ def build_mip_index(
         raise DataError(
             f"primary_support must be in (0, 1], got {primary_support}"
         )
-    closed = charm(table.item_tidsets(), table.n_records, primary_support)
+    if closed is None:
+        closed = charm(table.item_tidsets(), table.n_records, primary_support)
     cardinalities = table.schema.cardinalities()
     mips = tuple(
         MIP.from_closed(cfi, cardinalities, row=i)

@@ -23,11 +23,14 @@ from __future__ import annotations
 
 import json
 import struct
+import warnings
 import zipfile
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro import tidset as ts
 from repro.cache import ARM_FAMILY, MIP_FAMILY, CachedLattice, RuleCache
 from repro.core.costs import CostWeights
 from repro.core.mipindex import MIPIndex, build_mip_index
@@ -35,6 +38,9 @@ from repro.core.query import LocalizedQuery
 from repro.dataset.schema import Attribute, Item, Schema
 from repro.dataset.table import RelationalTable
 from repro.errors import DataError, IndexError_
+from repro.itemsets.apriori import min_count_for
+from repro.itemsets.charm import ClosedItemset
+from repro.itemsets.itemset import make_itemset
 from repro.itemsets.rules import Rule
 from repro.rtree.flat import FlatRTree
 
@@ -46,13 +52,58 @@ __all__ = [
     "save_maintained",
     "load_maintained",
     "delta_sidecar_path",
+    "LoadReport",
+    "MmapFallbackWarning",
 ]
 
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
 _FLAT_PREFIX = "flat_"
+_KERNEL_MIPS = "kernel_mip_tidsets"
+_KERNEL_ITEMS = "kernel_item_matrix"
 _CACHE_FORMAT_VERSION = 1
 _MAINT_FORMAT_VERSION = 1
+
+
+class MmapFallbackWarning(RuntimeWarning):
+    """A ``load_index(mmap_mode=...)`` member could not be memory-mapped.
+
+    Raised as a *warning*, not an error: the load still succeeds with an
+    eager heap copy, but the pages are private to the process — a cluster
+    worker loading such a file pays full RSS instead of sharing the box's
+    page cache.  The usual cause is an archive written with
+    ``save_index(compress=True)`` (deflated members cannot be mapped in
+    place); rewrite it with ``compress=False``.
+    """
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What a ``load_index(mmap_mode=...)`` call actually mapped.
+
+    ``mapped`` lists the members served as zero-copy memory maps into the
+    archive; ``fallbacks`` lists the members that were *requested* for
+    mapping but silently degraded to eager heap copies (compressed,
+    object-dtype, or unrecognized).  Attached to the loaded index as
+    ``index.load_report``; an eager load (``mmap_mode=None``) records
+    every candidate member as a fallback with ``requested=False``.
+    """
+
+    requested: bool
+    mapped: tuple[str, ...]
+    fallbacks: tuple[str, ...]
+
+    @property
+    def fully_mapped(self) -> bool:
+        return self.requested and not self.fallbacks
+
+    def as_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "mapped": list(self.mapped),
+            "fallbacks": list(self.fallbacks),
+            "fully_mapped": self.fully_mapped,
+        }
 
 
 def save_index(
@@ -108,6 +159,16 @@ def save_index(
         arrays[_FLAT_PREFIX + "payload_rows"] = np.asarray(
             flat.payload_rows, dtype=np.int64
         )
+        # The packed kernel matrices are derived state, but storing them
+        # moves the hot-path bulk of a worker's working set into the
+        # archive itself: an mmap load shares these pages across every
+        # process on the box instead of rebuilding a private copy each.
+        # They are verified bit-for-bit against the rebuild on load, so a
+        # corrupt file cannot smuggle in wrong counts.  Stored only for
+        # pristine trees, same as the flat arrays (one coherent format-v2
+        # payload).
+        arrays[_KERNEL_MIPS] = index.mip_tidset_matrix
+        arrays[_KERNEL_ITEMS] = index.table.item_matrix()[0]
     path.parent.mkdir(parents=True, exist_ok=True)
     savez = np.savez_compressed if compress else np.savez
     savez(
@@ -121,27 +182,43 @@ def save_index(
 
 
 def load_index(
-    path: str | Path, mmap_mode: str | None = None
+    path: str | Path,
+    mmap_mode: str | None = None,
+    verify: str = "mine",
 ) -> tuple[MIPIndex, CostWeights | None]:
     """Load a MIP-index saved by :func:`save_index`.
 
     Returns the index plus the calibrated weights (``None`` when the file
     was saved without them).  Derived structures (tidsets, packed R-tree,
-    statistics) are rebuilt; the stored closed itemsets are verified to
-    match a fresh CHARM run so a stale or corrupted file cannot silently
-    produce wrong answers.  Format-v2 files additionally carry the flat
-    SoA traversal arrays, which are attached directly (validated
-    structurally) so the reloaded index skips the SoA recompilation; v1
-    files recompile on load.
+    statistics) are rebuilt; with ``verify="mine"`` (the default) the
+    stored closed itemsets are verified to match a fresh CHARM run so a
+    stale or corrupted file cannot silently produce wrong answers.
+    Format-v2 files additionally carry the flat SoA traversal arrays,
+    which are attached directly (validated structurally) so the reloaded
+    index skips the SoA recompilation; v1 files recompile on load.
 
-    ``mmap_mode="r"`` (or ``"c"``, copy-on-write) opens the flat SoA
-    arrays as read-only memory maps into the archive itself instead of
-    decompressing each member into a fresh heap copy — the traversal
-    arrays are the bulk of a v2 file and the flat tree only ever reads
-    them, so a mapped load is zero-copy and pages in on demand.  Mapping
-    requires the member to be stored uncompressed
-    (:func:`save_index` with ``compress=False``); compressed members
-    silently fall back to the eager copy.
+    ``verify="stored"`` skips the re-mine: MIP tidsets are reconstructed
+    by intersecting the item tidsets of each *stored* itemset, and then
+    cross-checked bit-for-bit against the archive's packed kernel
+    matrices (required to be present).  A tampered itemset or tidset
+    still fails the load, but the closure/completeness of the stored
+    list is taken on trust — use it for snapshots your own process
+    published (cluster workers), not for files of unknown origin.  The
+    payoff is worker cold-start: no CHARM run means no mining-time heap
+    watermark, which is what keeps a serving process's unique RSS a
+    small fraction of the mmap-shared archive.
+
+    ``mmap_mode="r"`` (or ``"c"``, copy-on-write) opens the big members —
+    the table's cell matrix, the flat SoA traversal arrays, and the
+    packed kernel matrices — as read-only memory maps into the archive
+    itself instead of decompressing each into a fresh heap copy: a mapped
+    load is zero-copy, pages in on demand, and N processes mapping the
+    same file share one page-cache copy of those arrays.  Mapping
+    requires the member to be stored uncompressed (:func:`save_index`
+    with ``compress=False``); members that cannot be mapped fall back to
+    the eager copy, emit a :class:`MmapFallbackWarning`, and are listed
+    in the :class:`LoadReport` attached to the returned index as
+    ``index.load_report``.
     """
     path = Path(path)
     if mmap_mode not in (None, "r", "c"):
@@ -149,13 +226,16 @@ def load_index(
             f"mmap_mode must be None, 'r' or 'c', got {mmap_mode!r} — the "
             "archive is shared state; writable maps would corrupt it"
         )
+    if verify not in ("mine", "stored"):
+        raise DataError(
+            f"verify must be 'mine' or 'stored', got {verify!r}"
+        )
     try:
         archive = np.load(path)
     except (OSError, ValueError) as exc:
         raise DataError(f"cannot read index file {path}: {exc}") from exc
     try:
         meta = json.loads(bytes(archive["meta"]).decode())
-        data = archive["data"]
         items = archive["itemset_items"]
         offsets = archive["itemset_offsets"]
     except KeyError as exc:
@@ -164,39 +244,122 @@ def load_index(
         raise DataError(
             f"{path}: unsupported format version {meta.get('format_version')}"
         )
-    schema = Schema(
-        tuple(
-            Attribute(spec["name"], tuple(spec["values"]))
-            for spec in meta["attributes"]
+    mapped_names: list[str] = []
+    fallback_names: list[str] = []
+    zf = zipfile.ZipFile(path) if mmap_mode is not None else None
+
+    def member(name: str) -> np.ndarray:
+        """One mappable member: zero-copy when possible, recorded either way."""
+        if zf is not None:
+            mapped = _mmap_npz_member(path, zf, name + ".npy", mmap_mode)
+            if mapped is not None:
+                mapped_names.append(name)
+                return mapped
+        fallback_names.append(name)
+        return archive[name]
+
+    try:
+        if "data" not in archive.files:
+            raise DataError(f"{path}: missing field 'data' — not a COLARM index")
+        data = member("data")
+        schema = Schema(
+            tuple(
+                Attribute(spec["name"], tuple(spec["values"]))
+                for spec in meta["attributes"]
+            )
         )
-    )
-    table = RelationalTable(schema, data)
-    flat_keys = [k for k in archive.files if k.startswith(_FLAT_PREFIX)]
-    flat_arrays: dict[str, np.ndarray] = {}
-    if flat_keys and mmap_mode is not None:
-        with zipfile.ZipFile(path) as zf:
-            for key in flat_keys:
-                mapped = _mmap_npz_member(path, zf, key + ".npy", mmap_mode)
-                flat_arrays[key[len(_FLAT_PREFIX):]] = (
-                    mapped if mapped is not None else archive[key]
-                )
-    else:
+        table = RelationalTable(schema, data)
+        flat_keys = [k for k in archive.files if k.startswith(_FLAT_PREFIX)]
         flat_arrays = {
-            key[len(_FLAT_PREFIX):]: archive[key] for key in flat_keys
+            key[len(_FLAT_PREFIX):]: member(key) for key in flat_keys
         }
-    index = build_mip_index(
-        table,
-        primary_support=float(meta["primary_support"]),
-        max_entries=int(meta["max_entries"]),
-        compile_flat=not flat_arrays,
+        closed = None
+        if verify == "stored":
+            if not (_KERNEL_MIPS in archive.files
+                    and _KERNEL_ITEMS in archive.files):
+                raise DataError(
+                    f"{path}: verify='stored' needs the packed kernel "
+                    "matrices for its bit-for-bit tidset cross-check, "
+                    "but the archive carries none — load with "
+                    "verify='mine' instead"
+                )
+            closed = _reconstruct_closed(
+                table, items, offsets, float(meta["primary_support"]), path
+            )
+        index = build_mip_index(
+            table,
+            primary_support=float(meta["primary_support"]),
+            max_entries=int(meta["max_entries"]),
+            compile_flat=not flat_arrays,
+            closed=closed,
+        )
+        if verify == "mine":
+            _verify_itemsets(index, items, offsets, path)
+        if flat_arrays:
+            _attach_flat(index, flat_arrays, path)
+        _attach_kernels(index, archive, member, path)
+    finally:
+        if zf is not None:
+            zf.close()
+    report = LoadReport(
+        requested=mmap_mode is not None,
+        mapped=tuple(mapped_names),
+        fallbacks=tuple(fallback_names),
     )
-    _verify_itemsets(index, items, offsets, path)
-    if flat_arrays:
-        _attach_flat(index, flat_arrays, path)
+    object.__setattr__(index, "load_report", report)
+    if report.requested and report.fallbacks:
+        warnings.warn(
+            f"{path}: {len(report.fallbacks)} member(s) could not be "
+            f"memory-mapped and fell back to private heap copies "
+            f"({', '.join(report.fallbacks)}); save with compress=False "
+            "for a fully shareable archive",
+            MmapFallbackWarning,
+            stacklevel=2,
+        )
     weights = (
         CostWeights(dict(meta["weights"])) if meta.get("weights") else None
     )
     return index, weights
+
+
+def _attach_kernels(index: MIPIndex, archive, member, path: Path) -> None:
+    """Verify stored kernel matrices against the rebuild, then adopt them.
+
+    The packed MIP-tidset and item-tidset matrices are deterministic
+    functions of the (already verified) table, so equality with the
+    rebuilt copies is both a correctness check on the file and the
+    license to swap the heap copies for the archive-backed ones — after
+    the swap the transient rebuilds are garbage and the hot kernels read
+    file-backed pages every process on the box shares.
+    """
+    if _KERNEL_MIPS in archive.files:
+        stored = member(_KERNEL_MIPS)
+        built = index.mip_tidset_matrix
+        if (
+            stored.dtype != built.dtype
+            or stored.shape != built.shape
+            or not np.array_equal(stored, built)
+        ):
+            raise DataError(
+                f"{path}: stored MIP kernel matrix disagrees with the "
+                "rebuilt index — the file does not match its own data"
+            )
+        stored.setflags(write=False)
+        index.__dict__["mip_tidset_matrix"] = stored
+    if _KERNEL_ITEMS in archive.files:
+        stored = member(_KERNEL_ITEMS)
+        built, rows = index.table.item_matrix()
+        if (
+            stored.dtype != built.dtype
+            or stored.shape != built.shape
+            or not np.array_equal(stored, built)
+        ):
+            raise DataError(
+                f"{path}: stored item kernel matrix disagrees with the "
+                "rebuilt table — the file does not match its own data"
+            )
+        stored.setflags(write=False)
+        index.table._item_matrix = (stored, rows)
 
 
 def _mmap_npz_member(
@@ -517,10 +680,10 @@ def load_cache(
             f"the index schema {cards}"
         )
     generation = int(meta["generation"])
-    if generation != index.rtree.tree.mutations:
+    if generation != index.generation:
         raise DataError(
             f"{path}: cache generation {generation} does not match the "
-            f"index generation {index.rtree.tree.mutations} — the index "
+            f"index generation {index.generation} — the index "
             "mutated since the cache was saved; mine fresh instead"
         )
     cache = RuleCache(
@@ -629,6 +792,57 @@ def load_cache(
         if zf is not None:
             zf.close()
     return cache
+
+
+def _reconstruct_closed(
+    table: RelationalTable,
+    items: np.ndarray,
+    offsets: np.ndarray,
+    primary_support: float,
+    path: Path,
+) -> list[ClosedItemset]:
+    """Rebuild the closed-itemset list from the archive, miner-free.
+
+    Each stored itemset's tidset is the intersection of its items'
+    tidsets — a deterministic function of the (already loaded) table, so
+    any inconsistency between the stored list and the data surfaces
+    either here (unknown item, infrequent result, duplicate) or in the
+    bit-for-bit kernel-matrix cross-check that follows in
+    :func:`_attach_kernels`.
+    """
+    item_tidsets = table.item_tidsets()
+    floor = min_count_for(primary_support, table.n_records)
+    closed: list[ClosedItemset] = []
+    seen: set[tuple] = set()
+    for i in range(len(offsets) - 1):
+        pairs = [tuple(map(int, pair)) for pair in
+                 items[offsets[i]:offsets[i + 1]]]
+        key = tuple(sorted(pairs))
+        if key in seen:
+            raise DataError(
+                f"{path}: duplicate stored itemset {key} — the file does "
+                "not match its own data"
+            )
+        seen.add(key)
+        itemset = make_itemset(Item(a, v) for a, v in pairs)
+        tid: int | None = None
+        for item in itemset:
+            if item not in item_tidsets:
+                raise DataError(
+                    f"{path}: stored itemset {key} names item {item} "
+                    "that occurs in no record — the file does not match "
+                    "its own data"
+                )
+            tid = item_tidsets[item] if tid is None \
+                else tid & item_tidsets[item]
+        if tid is None or ts.count(tid) < floor:
+            raise DataError(
+                f"{path}: stored itemset {key} is not frequent at the "
+                f"primary support floor — the file does not match its "
+                "own data"
+            )
+        closed.append(ClosedItemset(items=itemset, tidset=tid))
+    return closed
 
 
 def _verify_itemsets(

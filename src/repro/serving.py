@@ -340,7 +340,12 @@ class QueryService:
     ordering tests use.
     """
 
-    def __init__(self, engine: Colarm, config: ServingConfig | None = None):
+    def __init__(
+        self,
+        engine: Colarm,
+        config: ServingConfig | None = None,
+        engine_lock: threading.Lock | None = None,
+    ):
         self.engine = engine
         self.config = config or ServingConfig()
         self.scheduler = CostScheduler(
@@ -350,8 +355,11 @@ class QueryService:
         )
         self.stats = ServiceStats()
         #: Serializes every touch of the engine (optimizer memo, cache
-        #: LRU order, ledger counters — none of it is thread-safe).
-        self._engine_lock = threading.Lock()
+        #: LRU order, ledger counters — none of it is thread-safe).  When
+        #: several services front the *same* engine in one process (the
+        #: cluster's in-process fallback), they must share one lock —
+        #: pass it here.
+        self._engine_lock = engine_lock or threading.Lock()
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="colarm-serve",

@@ -1,0 +1,269 @@
+"""Process-cluster integration: routing, epoch publish, crash recovery.
+
+These tests spawn real worker processes over a published snapshot of the
+paper's salary dataset (small enough that a worker loads in well under a
+second on one CPU).  No pytest-asyncio in this environment: each test
+drives its own loop with ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterService,
+    _focal_key_bytes,
+    read_epoch,
+)
+from repro.core.engine import Colarm
+from repro.dataset.salary import salary_dataset
+from repro.serving import ServingConfig
+
+SEATTLE = (
+    "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+    "WHERE RANGE Location = (Seattle) "
+    "HAVING minsupport = 0.4 AND minconfidence = 0.7;"
+)
+BOSTON = (
+    "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+    "WHERE RANGE Location = (Boston) "
+    "HAVING minsupport = 0.4 AND minconfidence = 0.7;"
+)
+SEATTLE_F = (
+    "REPORT LOCALIZED ASSOCIATION RULES FROM salary "
+    "WHERE RANGE Location = (Seattle) AND Gender = (F) "
+    "HAVING minsupport = 0.5 AND minconfidence = 0.8;"
+)
+QUERIES = (SEATTLE, BOSTON, SEATTLE_F)
+
+
+def fresh_engine() -> Colarm:
+    return Colarm(salary_dataset(), primary_support=0.15)
+
+
+def config(workers: int = 2, **kw) -> ClusterConfig:
+    kw.setdefault("serving", ServingConfig(workers=2))
+    return ClusterConfig(workers=workers, **kw)
+
+
+async def _settle(predicate, timeout: float = 10.0) -> None:
+    """Poll until ``predicate()`` holds (crash recovery runs as a task)."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition never settled")
+        await asyncio.sleep(0.01)
+
+
+def test_routing_is_sticky_and_byte_identical(tmp_path):
+    engine = fresh_engine()
+    refs = {q: fresh_engine().query(q).rules for q in QUERIES}
+
+    async def main():
+        async with ClusterService(engine, tmp_path, config()) as cluster:
+            seen: dict[str, int] = {}
+            for _ in range(3):
+                for q in QUERIES:
+                    res = await cluster.submit(q)
+                    assert res.rules == refs[q]
+                    # Identical focal keys always land on the same worker
+                    # — and on the worker the ring names, so placement is
+                    # predictable from the outside.
+                    key = _focal_key_bytes(
+                        engine.parse(q), engine.index.cardinalities
+                    )
+                    assert res.worker == cluster.ring.route(key)
+                    assert seen.setdefault(q, res.worker) == res.worker
+            snap = cluster.snapshot()
+            assert snap["routed"] == 9
+            assert sum(snap["routing"].values()) == 9
+            stats = await cluster.worker_stats()
+            assert sorted(s["worker"] for s in stats) == [0, 1]
+            assert sum(s["served"] for s in stats) >= 3  # coalescing may fold
+
+    asyncio.run(main())
+
+
+def test_crash_respawn_serves_every_request_byte_identically(tmp_path):
+    engine = fresh_engine()
+    refs = {q: fresh_engine().query(q).rules for q in QUERIES}
+
+    async def main():
+        async with ClusterService(engine, tmp_path, config()) as cluster:
+            stream = [QUERIES[i % 3] for i in range(12)]
+            tasks = [
+                asyncio.ensure_future(cluster.submit(q)) for q in stream
+            ]
+            await asyncio.sleep(0.02)
+            for handle in cluster._handles.values():
+                os.kill(handle.process.pid, signal.SIGKILL)
+                break  # one victim
+            results = await asyncio.gather(*tasks)
+            # Zero requests lost, every response byte-identical.
+            assert len(results) == len(stream)
+            for res, q in zip(results, stream):
+                assert res.rules == refs[q]
+            await _settle(lambda: cluster.snapshot()["crashes"] >= 1)
+            await _settle(lambda: cluster.snapshot()["respawns"] >= 1)
+            # The cluster still serves after recovery.
+            res = await cluster.submit(SEATTLE)
+            assert res.rules == refs[SEATTLE]
+
+    asyncio.run(main())
+
+
+def test_respawn_budget_exhausted_reroutes_to_survivors(tmp_path):
+    engine = fresh_engine()
+    refs = {q: fresh_engine().query(q).rules for q in QUERIES}
+
+    async def main():
+        cfg = config(max_respawns=0)
+        async with ClusterService(engine, tmp_path, cfg) as cluster:
+            victim = cluster.ring.route(_focal_key_bytes(
+                engine.parse(SEATTLE), engine.index.cardinalities
+            ))
+            tasks = [
+                asyncio.ensure_future(cluster.submit(q))
+                for q in (SEATTLE, BOSTON, SEATTLE_F) * 2
+            ]
+            await asyncio.sleep(0.02)
+            os.kill(cluster._handles[victim].process.pid, signal.SIGKILL)
+            results = await asyncio.gather(*tasks)
+            for res, q in zip(results, (SEATTLE, BOSTON, SEATTLE_F) * 2):
+                assert res.rules == refs[q]
+            # The victim is off the ring; survivors own its key space.
+            await _settle(lambda: victim not in cluster.ring)
+            res = await cluster.submit(SEATTLE)
+            assert res.rules == refs[SEATTLE]
+            assert res.worker != victim
+
+    asyncio.run(main())
+
+
+def test_epoch_publish_never_serves_stale_or_torn(tmp_path):
+    """Interleaved ingest/publish with concurrent queries: every response
+    carries the generation of a *published* epoch, and no response lands
+    at an epoch older than the one current when it was submitted."""
+    engine = fresh_engine()
+    engine.enable_cache(calibrate=False)
+    salary = salary_dataset()
+
+    async def main():
+        async with ClusterService(engine, tmp_path, config()) as cluster:
+            published = {
+                cluster.publisher.epoch: engine.index.generation
+            }
+            responses = []
+
+            async def query_burst(n):
+                stamped = cluster._min_epoch
+                results = await asyncio.gather(
+                    *(cluster.submit(QUERIES[i % 3]) for i in range(n))
+                )
+                for res in results:
+                    responses.append((stamped, res))
+
+            for round_no in range(3):
+                burst = asyncio.ensure_future(query_burst(4))
+                rows = salary.data[round_no::7][:3].tolist()
+                await cluster.ingest(rows, publish=True)
+                published[cluster.publisher.epoch] = engine.index.generation
+                await burst
+                await query_burst(2)
+
+            for stamped, res in responses:
+                assert res.epoch >= stamped, "a stale epoch was served"
+                assert published[res.epoch] == res.generation, (
+                    "a response carries a generation no published epoch has"
+                )
+
+            # The final answers equal a cold rebuild over the live records.
+            reference = Colarm(
+                engine.index.table, primary_support=0.15
+            )
+            for q in QUERIES:
+                res = await cluster.submit(q)
+                assert res.epoch == cluster.publisher.epoch
+                assert res.rules == reference.query(q).rules
+
+    asyncio.run(main())
+
+
+def test_warm_cache_sidecar_survives_the_hot_swap(tmp_path):
+    """The publisher seeds its cache with the hottest focal groups, so a
+    worker that hot-swaps to the new epoch starts warm and serves the
+    very first repeat of a hot query from its reloaded cache."""
+    engine = fresh_engine()
+    engine.enable_cache(calibrate=False)
+
+    async def main():
+        async with ClusterService(engine, tmp_path, config()) as cluster:
+            for _ in range(3):
+                await cluster.submit(SEATTLE)  # make the key hot
+            await cluster.ingest(
+                salary_dataset().data[:2].tolist(), publish=True
+            )
+            info = read_epoch(tmp_path)
+            assert info.cache is not None, "publish did not seed a sidecar"
+            res = await cluster.submit(SEATTLE)
+            assert res.epoch == info.epoch
+            assert res.cached, "the hot-swapped worker should start warm"
+
+    asyncio.run(main())
+
+
+def test_membership_changes_remap_boundedly(tmp_path):
+    engine = fresh_engine()
+
+    async def main():
+        async with ClusterService(engine, tmp_path, config()) as cluster:
+            keys = [f"key-{i}".encode() for i in range(400)]
+            before = {k: cluster.ring.route(k) for k in keys}
+            new_id = await cluster.add_worker()
+            moved = [
+                k for k in keys if cluster.ring.route(k) != before[k]
+            ]
+            assert all(cluster.ring.route(k) == new_id for k in moved)
+            assert len(moved) / len(keys) <= 1 / 2 + 0.1
+            res = await cluster.submit(SEATTLE)
+            assert res.rules == fresh_engine().query(SEATTLE).rules
+            await cluster.remove_worker(new_id)
+            assert {k: cluster.ring.route(k) for k in keys} == before
+
+    asyncio.run(main())
+
+
+def test_worker_rss_reports_private_pages(tmp_path):
+    engine = fresh_engine()
+
+    async def main():
+        async with ClusterService(engine, tmp_path, config()) as cluster:
+            reports = await cluster.worker_rss()
+            assert sorted(r["worker"] for r in reports) == [0, 1]
+            for report in reports:
+                if report["private_kb"] is None:
+                    pytest.skip("no /proc/self/smaps_rollup on this host")
+                assert report["private_kb"] > 0
+                assert report["unique_kb"] >= 0
+
+    asyncio.run(main())
+
+
+def test_submit_after_stop_raises(tmp_path):
+    from repro.errors import ServiceClosedError
+
+    engine = fresh_engine()
+
+    async def main():
+        cluster = ClusterService(engine, tmp_path, config())
+        await cluster.start()
+        await cluster.stop()
+        with pytest.raises(ServiceClosedError):
+            await cluster.submit(SEATTLE)
+
+    asyncio.run(main())

@@ -1,0 +1,119 @@
+"""Consistent-hash ring properties: balance, stability, determinism.
+
+The stability properties are *exact* structural facts of consistent
+hashing (keys only ever move onto a joiner / off a leaver), checked as
+such; the balance and remap-fraction bounds are statistical and use the
+generous margins appropriate for 128 virtual nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing
+from repro.errors import ServiceError
+
+REPLICAS = 128
+KEYS = [f"focal-key-{i}".encode() for i in range(2000)]
+
+
+def make_ring(worker_ids) -> HashRing:
+    ring = HashRing(replicas=REPLICAS)
+    for worker_id in worker_ids:
+        ring.add(worker_id)
+    return ring
+
+
+def shares(ring: HashRing) -> dict[int, float]:
+    counts: dict[int, int] = {w: 0 for w in ring.workers}
+    for key in KEYS:
+        counts[ring.route(key)] += 1
+    return {w: n / len(KEYS) for w, n in counts.items()}
+
+
+worker_sets = st.sets(st.integers(min_value=0, max_value=50),
+                      min_size=2, max_size=6)
+
+
+def test_empty_ring_refuses():
+    with pytest.raises(ServiceError):
+        HashRing().route(b"anything")
+
+
+def test_add_remove_guards():
+    ring = make_ring([0, 1])
+    with pytest.raises(ValueError):
+        ring.add(0)
+    with pytest.raises(ValueError):
+        ring.remove(7)
+
+
+@given(worker_sets)
+@settings(max_examples=20, deadline=None)
+def test_routing_is_deterministic_across_ring_builds(workers):
+    # Two independently built rings (different insertion orders) place
+    # every key identically: routing depends only on membership, which
+    # is what lets a test harness or a second router predict placement.
+    a = make_ring(sorted(workers))
+    b = make_ring(sorted(workers, reverse=True))
+    for key in KEYS[:300]:
+        assert a.route(key) == b.route(key)
+
+
+@given(worker_sets)
+@settings(max_examples=20, deadline=None)
+def test_balance_no_worker_starves_or_hogs(workers):
+    ring = make_ring(workers)
+    w = len(workers)
+    for share in shares(ring).values():
+        assert share >= 1 / (4 * w), "a worker starves"
+        assert share <= 3 / w, "a worker hogs the key space"
+
+
+@given(worker_sets, st.integers(min_value=51, max_value=99))
+@settings(max_examples=20, deadline=None)
+def test_join_moves_keys_only_onto_the_joiner(workers, joiner):
+    ring = make_ring(workers)
+    before = {key: ring.route(key) for key in KEYS}
+    ring.add(joiner)
+    moved = 0
+    for key, old in before.items():
+        new = ring.route(key)
+        if new != old:
+            moved += 1
+            assert new == joiner, "a key moved between surviving workers"
+    # ~1/(W+1) of the key space in expectation; 1/W + ε bounds the
+    # virtual-node variance.
+    assert moved / len(KEYS) <= 1 / len(workers) + 0.08
+
+
+@given(worker_sets)
+@settings(max_examples=20, deadline=None)
+def test_leave_moves_only_the_leavers_keys(workers):
+    leaver = min(workers)
+    ring = make_ring(workers)
+    before = {key: ring.route(key) for key in KEYS}
+    leaver_share = sum(1 for w in before.values() if w == leaver)
+    ring.remove(leaver)
+    moved = 0
+    for key, old in before.items():
+        new = ring.route(key)
+        if old == leaver:
+            moved += 1
+            assert new != leaver
+        else:
+            assert new == old, "an unrelated key remapped on leave"
+    assert moved == leaver_share
+    assert moved / len(KEYS) <= 1 / (len(workers) - 1) + 0.08
+
+
+@given(worker_sets)
+@settings(max_examples=10, deadline=None)
+def test_join_then_leave_restores_every_route(workers):
+    ring = make_ring(workers)
+    before = [ring.route(key) for key in KEYS[:500]]
+    ring.add(99)
+    ring.remove(99)
+    assert [ring.route(key) for key in KEYS[:500]] == before

@@ -230,11 +230,14 @@ def test_mmap_load_zero_copy_and_identical(index, tmp_path):
 
 
 def test_mmap_load_compressed_falls_back_to_copy(index, tmp_path):
-    """Compressed members cannot be mapped; the loader silently falls
-    back to the eager copy and the index still works."""
+    """Compressed members cannot be mapped; the loader warns, falls back
+    to the eager copy, and the index still works."""
+    from repro.core.persistence import MmapFallbackWarning
+
     path = tmp_path / "t.colarm.npz"
     save_index(index, path)  # compressed (the default)
-    loaded, _ = load_index(path, mmap_mode="r")
+    with pytest.warns(MmapFallbackWarning):
+        loaded, _ = load_index(path, mmap_mode="r")
     flat = loaded.flat_rtree
     assert flat is not None
     assert not any(
@@ -250,3 +253,95 @@ def test_mmap_load_rejects_writable_modes(index, tmp_path):
         load_index(path, mmap_mode="r+")
     with pytest.raises(DataError, match="mmap_mode"):
         load_index(path, mmap_mode="w+")
+
+
+def _is_mapped(arr):
+    while arr is not None:
+        if isinstance(arr, np.memmap):
+            return True
+        arr = getattr(arr, "base", None)
+    return False
+
+
+def test_mmap_load_report_fully_mapped(index, tmp_path):
+    """Uncompressed archives map every candidate member — including the
+    packed kernel matrices and the raw data — and say so on the record."""
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path, compress=False)
+    loaded, _ = load_index(path, mmap_mode="r")
+    report = loaded.load_report
+    assert report.requested and report.fully_mapped
+    assert not report.fallbacks
+    assert "kernel_mip_tidsets" in report.mapped
+    assert "kernel_item_matrix" in report.mapped
+    assert "data" in report.mapped
+    assert _is_mapped(loaded.mip_tidset_matrix)
+    assert _is_mapped(loaded.table.item_matrix()[0])
+    # The adopted kernels are bit-for-bit the rebuilt ones.
+    fresh, _ = load_index(path)
+    assert np.array_equal(loaded.mip_tidset_matrix, fresh.mip_tidset_matrix)
+    assert report.as_dict()["fully_mapped"] is True
+
+
+def test_compressed_mmap_load_warns_and_reports_fallbacks(index, tmp_path):
+    """The silent-degradation failure mode is no longer silent: mapping a
+    compressed archive emits a warning naming the degraded members."""
+    from repro.core.persistence import MmapFallbackWarning
+
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)  # compressed (the default)
+    with pytest.warns(MmapFallbackWarning, match="kernel_mip_tidsets"):
+        loaded, _ = load_index(path, mmap_mode="r")
+    report = loaded.load_report
+    assert report.requested and not report.fully_mapped
+    assert not report.mapped
+    assert "data" in report.fallbacks
+
+
+def test_eager_load_report_requested_false(index, tmp_path):
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path, compress=False)
+    loaded, _ = load_index(path)
+    assert not loaded.load_report.requested
+    assert not loaded.load_report.fully_mapped
+
+
+def test_load_detects_corrupt_kernel_matrix(index, tmp_path):
+    """A tampered stored kernel matrix is caught by the bit-for-bit
+    cross-check against the rebuild, not served."""
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path)
+    archive = dict(np.load(path))
+    kernel = archive["kernel_mip_tidsets"].copy()
+    kernel[0, 0] ^= 1
+    archive["kernel_mip_tidsets"] = kernel
+    np.savez(path, **archive)
+    with pytest.raises(DataError, match="kernel"):
+        load_index(path)
+
+
+def test_load_cache_accepts_rebased_generation(index, tmp_path):
+    """Regression: ``load_cache`` compares ``index.generation`` (lineage
+    base + ticks + mutations), not the raw R-tree mutation counter — a
+    cluster worker re-bases its clock to the published generation, and a
+    warm sidecar saved at that generation must load."""
+    from repro.core.persistence import load_cache, save_cache
+    from repro.core.engine import Colarm
+
+    path = tmp_path / "t.colarm.npz"
+    save_index(index, path, compress=False)
+    loaded, _ = load_index(path, mmap_mode="r")
+    loaded.clock.base = 7  # what a worker does to join the lineage
+    assert loaded.generation == 7
+
+    engine = Colarm.from_index(loaded).enable_cache(calibrate=False)
+    query = LocalizedQuery({0: frozenset({1, 2})}, 0.3, 0.6)
+    engine.query(query)
+    cache_path = tmp_path / "t.cache.npz"
+    save_cache(engine.cache, cache_path, compress=False)
+    warm = load_cache(cache_path, loaded, mmap_mode="r")
+    assert len(warm) == len(engine.cache)
+
+    loaded.clock.base = 8  # an actual lineage mismatch still refuses
+    with pytest.raises(DataError, match="generation"):
+        load_cache(cache_path, loaded)

@@ -17,11 +17,13 @@ Usage::
     ... --override-weight arm=0   # sanity check: must FAIL the gate
     ... --only serving --corrupt-admission       # likewise: must FAIL
     ... --only maintenance --corrupt-maintenance # likewise: must FAIL
+    ... --only cluster --corrupt-routing         # likewise: must FAIL
 
 ``--override-weight`` deliberately corrupts one fitted weight after
 calibration, ``--corrupt-admission`` mis-wires the serving layer's
-admission knobs, and ``--corrupt-maintenance`` severs the delta-store
-merge correction; they exist so the gates themselves can be tested (a
+admission knobs, ``--corrupt-maintenance`` severs the delta-store merge
+correction, and ``--corrupt-routing`` swaps consistent hashing for
+modulo placement; they exist so the gates themselves can be tested (a
 gate that cannot fail gates nothing).
 """
 
@@ -489,7 +491,152 @@ def run_maintenance_selftest(config: dict, corrupt: bool = False) -> dict:
     }
 
 
-_GATES = ("acc", "parallel", "cache", "serving", "maintenance")
+def run_cluster_selftest(config: dict, corrupt: bool = False) -> dict:
+    """Routing sanity for the multi-process serving cluster.
+
+    Structural assertions over the consistent-hash ring plus one live
+    end-to-end identity check:
+
+    * **Determinism** — two rings built from the same membership in
+      different insertion orders must place every key identically
+      (routing is a function of membership, nothing else).
+    * **Balance** — with W workers at the production replica count, no
+      worker's share of a key sample may fall below ``1/(4W)`` or rise
+      above ``3/W``.
+    * **Bounded remap** — adding a worker may move keys *only onto the
+      joiner*, and at most ``1/W + eps`` of them; removing it may move
+      only the leaver's keys.  This is the property that keeps warm
+      caches alive through membership changes.
+    * **Identity** — a live two-worker cluster over the salary dataset
+      answers every probe byte-identically to the engine it was built
+      from, on the worker the ring names (sticky routing).
+
+    ``corrupt=True`` replaces consistent routing with naive modulo
+    placement — still deterministic and balanced, but a join reshuffles
+    nearly the whole key space, so the bounded-remap assertions must
+    then FAIL (a gate that cannot fail gates nothing).
+    """
+    import asyncio
+    import tempfile
+
+    from repro import cluster as cluster_mod
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterService,
+        HashRing,
+        _focal_key_bytes,
+    )
+    from repro.core.calibration import default_probe_queries
+    from repro.core.engine import Colarm
+    from repro.dataset.salary import salary_dataset
+    from repro.errors import ServiceError
+    from repro.serving import ServingConfig
+
+    replicas = int(config.get("replicas", 96))
+    n_workers = int(config.get("workers", 3))
+    keys = [f"gate-key-{i}".encode() for i in range(int(config["n_keys"]))]
+
+    original_route = HashRing.route
+    if corrupt:
+
+        def modulo_route(self, key: bytes) -> int:
+            workers = sorted(set(self._owners))
+            if not workers:
+                raise ServiceError("cannot route on an empty ring")
+            return workers[cluster_mod._point(key) % len(workers)]
+
+        HashRing.route = modulo_route
+
+    try:
+
+        def make_ring(worker_ids) -> HashRing:
+            ring = HashRing(replicas=replicas)
+            for worker_id in worker_ids:
+                ring.add(worker_id)
+            return ring
+
+        failures = []
+        ids = list(range(n_workers))
+        a, b = make_ring(ids), make_ring(reversed(ids))
+        if any(a.route(k) != b.route(k) for k in keys[:300]):
+            failures.append("routing_not_deterministic")
+
+        shares = {w: 0 for w in ids}
+        for k in keys:
+            shares[a.route(k)] += 1
+        if any(
+            n / len(keys) < 1 / (4 * n_workers)
+            or n / len(keys) > 3 / n_workers
+            for n in shares.values()
+        ):
+            failures.append("routing_unbalanced")
+
+        before = {k: a.route(k) for k in keys}
+        joiner = n_workers
+        a.add(joiner)
+        moved = [k for k in keys if a.route(k) != before[k]]
+        if any(a.route(k) != joiner for k in moved):
+            failures.append("join_moved_keys_between_survivors")
+        if len(moved) / len(keys) > 1 / n_workers + 0.08:
+            failures.append("join_remapped_beyond_bound")
+        a.remove(joiner)
+        if any(a.route(k) != before[k] for k in keys):
+            failures.append("leave_moved_unrelated_keys")
+
+        t0 = time.perf_counter()
+        engine = Colarm(
+            salary_dataset(),
+            primary_support=float(config.get("primary_support", 0.15)),
+        )
+        build_s = time.perf_counter() - t0
+        queries = default_probe_queries(
+            engine.index,
+            n_queries=int(config["n_queries"]),
+            seed=int(config["seed"]),
+        )
+        refs = [engine.query(q, use_cache=False).rules for q in queries]
+
+        async def identity_run():
+            with tempfile.TemporaryDirectory() as tmp:
+                cluster = ClusterService(
+                    engine,
+                    tmp,
+                    ClusterConfig(workers=2, serving=ServingConfig(workers=2)),
+                )
+                async with cluster:
+                    n_identical = n_sticky = 0
+                    for q, ref in zip(queries, refs):
+                        res = await cluster.submit(q)
+                        key = _focal_key_bytes(q, engine.index.cardinalities)
+                        n_identical += res.rules == ref
+                        n_sticky += res.worker == cluster.ring.route(key)
+                    return n_identical, n_sticky
+
+        n_identical, n_sticky = asyncio.run(identity_run())
+        if n_identical != len(queries):
+            failures.append("cluster_answers_diverge")
+        if n_sticky != len(queries):
+            failures.append("routing_not_sticky")
+    finally:
+        HashRing.route = original_route
+
+    return {
+        "dataset": "salary",
+        "scenarios": len(queries),
+        "build_s": round(build_s, 2),
+        "corrupted": corrupt,
+        "workers": n_workers,
+        "replicas": replicas,
+        "n_keys": len(keys),
+        "join_remap_fraction": round(len(moved) / len(keys), 4),
+        "identity": n_identical,
+        "sticky": n_sticky,
+        "passed": not failures,
+        "failures": failures,
+    }
+
+
+_GATES = ("acc", "parallel", "cache", "serving", "maintenance", "cluster")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -525,6 +672,12 @@ def main(argv: list[str] | None = None) -> int:
         help="sever the delta-store merge correction (main-only answers "
         "with live delta records); the maintenance self-test must then FAIL",
     )
+    parser.add_argument(
+        "--corrupt-routing",
+        action="store_true",
+        help="replace consistent hashing with modulo placement (a join "
+        "reshuffles the key space); the cluster self-test must then FAIL",
+    )
     args = parser.parse_args(argv)
 
     overrides: dict[str, float] = {}
@@ -559,6 +712,11 @@ def main(argv: list[str] | None = None) -> int:
         if "maintenance" in config and wanted("maintenance")
         else None
     )
+    cluster_report = (
+        run_cluster_selftest(config["cluster"], corrupt=args.corrupt_routing)
+        if "cluster" in config and wanted("cluster")
+        else None
+    )
 
     args.report.parent.mkdir(parents=True, exist_ok=True)
     full_report = dict(report) if report is not None else {}
@@ -570,6 +728,8 @@ def main(argv: list[str] | None = None) -> int:
         full_report["serving_selftest"] = serving_report
     if maintenance_report is not None:
         full_report["maintenance_selftest"] = maintenance_report
+    if cluster_report is not None:
+        full_report["cluster_selftest"] = cluster_report
     args.report.write_text(json.dumps(full_report, indent=2) + "\n")
 
     passed = True
@@ -635,6 +795,18 @@ def main(argv: list[str] | None = None) -> int:
             f"identity {identical}/{covered}"
             + (" [merge corrupted]" if maintenance_report["corrupted"] else "")
         )
+    if cluster_report is not None:
+        passed = passed and cluster_report["passed"]
+        status = "ok  " if cluster_report["passed"] else "FAIL"
+        print(
+            f"  {status} cluster-selftest   "
+            f"join remap={cluster_report['join_remap_fraction']:.3f}"
+            f" (bound {1 / cluster_report['workers'] + 0.08:.3f}), "
+            f"identity {cluster_report['identity']}/"
+            f"{cluster_report['scenarios']}, sticky "
+            f"{cluster_report['sticky']}/{cluster_report['scenarios']}"
+            + (" [routing corrupted]" if cluster_report["corrupted"] else "")
+        )
     if passed:
         print("ci-gates: PASS")
         return 0
@@ -647,6 +819,8 @@ def main(argv: list[str] | None = None) -> int:
         failures += serving_report["failures"]
     if maintenance_report is not None:
         failures += maintenance_report["failures"]
+    if cluster_report is not None:
+        failures += cluster_report["failures"]
     print(f"ci-gates: FAIL ({', '.join(failures)})")
     return 1
 
